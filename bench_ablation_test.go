@@ -1,0 +1,126 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: what
+// stack zeroing costs (the paper's "our design favors memory usage over
+// performance" trade-off, §5.3.2) and how revoker speed moves the
+// allocator's revocation-bound regime (Fig. 6b's second half).
+package cheriot_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/alloc"
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/core"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+)
+
+// BenchmarkAblation_StackZeroing isolates the stack-scrubbing share of
+// the compartment-call cost: the paper attributes everything above the
+// 209-cycle base to zeroing, and notes a performance-oriented design
+// would keep per-domain stacks instead.
+func BenchmarkAblation_StackZeroing(b *testing.B) {
+	for _, mode := range []string{"zeroing_on", "zeroing_lazy", "zeroing_off"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			var cycles uint64
+			img := core.NewImage("ablate-zero")
+			img.AddCompartment(&firmware.Compartment{
+				Name: "server", CodeSize: 128, DataSize: 0,
+				Exports: []*firmware.Export{{Name: "fn", MinStack: 1024, Entry: nop}},
+			})
+			img.AddCompartment(&firmware.Compartment{
+				Name: "bench", CodeSize: 128, DataSize: 0,
+				Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "server", Entry: "fn"}},
+				Exports: []*firmware.Export{{Name: "main", MinStack: 128,
+					Entry: func(ctx api.Context, args []api.Value) []api.Value {
+						start := ctx.Now()
+						for i := 0; i < b.N; i++ {
+							if _, err := ctx.Call("server", "fn"); err != nil {
+								b.Errorf("call: %v", err)
+								return nil
+							}
+						}
+						cycles = ctx.Now() - start
+						return nil
+					}}},
+			})
+			img.AddThread(&firmware.Thread{Name: "t", Compartment: "bench", Entry: "main",
+				Priority: 1, StackSize: 4096, TrustedStackFrames: 8})
+			s, err := core.Boot(img)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch mode {
+			case "zeroing_off":
+				s.Kernel.SetStackZeroing(false)
+			case "zeroing_lazy":
+				s.Kernel.SetLazyStackZeroing(true)
+			}
+			if err := s.Run(nil); err != nil {
+				s.Shutdown()
+				b.Fatal(err)
+			}
+			s.Shutdown()
+			per := float64(cycles) / float64(b.N)
+			b.ReportMetric(per, "simcycles/call")
+			printOnce("ablate-zero-"+mode,
+				fmt.Sprintf("  ablation, 1 KiB frame, %s: %.1f cycles/call\n", mode, per))
+		})
+	}
+}
+
+// BenchmarkAblation_RevokerRate sweeps the revoker's cycles-per-granule
+// rate at a revocation-bound allocation size (64 KiB): faster sweeping
+// silicon directly buys allocator throughput, which is why commercial
+// parts optimize the revoker (§2.1 footnote).
+func BenchmarkAblation_RevokerRate(b *testing.B) {
+	for _, rate := range []uint64{6, 12, 24, 48} {
+		rate := rate
+		b.Run(fmt.Sprintf("rate_%dcyc", rate), func(b *testing.B) {
+			var cycles, bytes uint64
+			for rep := 0; rep < b.N; rep++ {
+				img := core.NewImage("ablate-rev")
+				img.AddCompartment(&firmware.Compartment{
+					Name: "bench", CodeSize: 256, DataSize: 0,
+					AllocCaps: []firmware.AllocCap{{Name: "default", Quota: 230 * 1024}},
+					Imports:   alloc.Imports(),
+					Exports: []*firmware.Export{{Name: "main", MinStack: 512,
+						Entry: func(ctx api.Context, args []api.Value) []api.Value {
+							cl := alloc.Client{}
+							const size = 64 * 1024
+							start := ctx.Now()
+							for i := 0; i < 24; i++ {
+								obj, errno := cl.Malloc(ctx, size)
+								if errno != api.OK {
+									b.Errorf("malloc: %v", errno)
+									return nil
+								}
+								cl.Free(ctx, obj)
+							}
+							cycles += ctx.Now() - start
+							bytes += 24 * size
+							return nil
+						}}},
+				})
+				img.AddThread(&firmware.Thread{Name: "t", Compartment: "bench", Entry: "main",
+					Priority: 1, StackSize: 4096, TrustedStackFrames: 8})
+				s, err := core.Boot(img)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Board.Core.Revoker.SetRate(rate)
+				if err := s.Run(nil); err != nil {
+					s.Shutdown()
+					b.Fatal(err)
+				}
+				s.Shutdown()
+			}
+			secs := float64(cycles) / float64(hw.DefaultHz)
+			mibps := float64(bytes) / (1 << 20) / secs
+			b.ReportMetric(mibps, "sim-MiB/s")
+			printOnce(fmt.Sprintf("ablate-rev-%d", rate),
+				fmt.Sprintf("  ablation, 64 KiB allocs at %2d cycles/granule: %6.2f MiB/s\n", rate, mibps))
+		})
+	}
+}

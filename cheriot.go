@@ -1,0 +1,118 @@
+package cheriot
+
+// The public facade: downstream users import this package (the module
+// root) rather than the internal packages. It re-exports the types and
+// constructors needed to define firmware images, boot them, write
+// compartment code, and audit reports.
+
+import (
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/audit"
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/core"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+)
+
+// Capability is a CHERIoT capability: a tagged, bounded, permissioned,
+// optionally sealed pointer. See the cap package documentation for the
+// derivation rules.
+type Capability = cap.Capability
+
+// Perm is a capability permission bit set.
+type Perm = cap.Perm
+
+// Commonly-used permission sets.
+const (
+	PermData   = cap.PermData
+	PermROData = cap.PermROData
+	PermLoad   = cap.PermLoad
+	PermStore  = cap.PermStore
+)
+
+// Context is the execution context compartment entry points receive:
+// capability-mediated memory access, compartment calls, and the core API
+// surface.
+type Context = api.Context
+
+// Value is one argument/return register of a compartment call.
+type Value = api.Value
+
+// Errno is the RTOS API error-number convention.
+type Errno = api.Errno
+
+// API error numbers (subset; see the api package for all).
+const (
+	OK              = api.OK
+	ErrInvalid      = api.ErrInvalid
+	ErrNoMemory     = api.ErrNoMemory
+	ErrNotPermitted = api.ErrNotPermitted
+	ErrTimeout      = api.ErrTimeout
+	ErrNotFound     = api.ErrNotFound
+	ErrUnwound      = api.ErrUnwound
+)
+
+// W wraps a data word as a Value; C wraps a capability.
+var (
+	W = api.W
+	C = api.C
+)
+
+// EV builds a single-errno return list; ErrnoOf decodes one.
+var (
+	EV      = api.EV
+	ErrnoOf = api.ErrnoOf
+)
+
+// Entry is a compartment entry point.
+type Entry = api.Entry
+
+// ErrorHandler is a compartment's global error handler.
+type ErrorHandler = api.ErrorHandler
+
+// Trap is a synchronous fault raised by the simulated hardware.
+type Trap = hw.Trap
+
+// Firmware-description types: an Image is the build-time set of
+// compartments, libraries, threads, and grants that the loader
+// instantiates and the auditor reasons about.
+type (
+	Image              = firmware.Image
+	Compartment        = firmware.Compartment
+	Export             = firmware.Export
+	Import             = firmware.Import
+	Library            = firmware.Library
+	Thread             = firmware.Thread
+	AllocCap           = firmware.AllocCap
+	SharedGlobal       = firmware.SharedGlobal
+	StaticSealedObject = firmware.StaticSealedObject
+	Report             = firmware.Report
+)
+
+// Import kinds.
+const (
+	ImportCall   = firmware.ImportCall
+	ImportLib    = firmware.ImportLib
+	ImportMMIO   = firmware.ImportMMIO
+	ImportSealed = firmware.ImportSealed
+)
+
+// System is a booted machine.
+type System = core.System
+
+// NewImage returns an empty firmware image with the paper's default board
+// parameters (256 KiB SRAM, 33 MHz).
+func NewImage(name string) *Image { return core.NewImage(name) }
+
+// Boot links the image, injects the TCB, runs the loader, and returns the
+// ready-to-Run system.
+func Boot(img *Image) (*System, error) { return core.Boot(img) }
+
+// BuildReport links an image and emits its audit report without booting.
+func BuildReport(img *Image) (*Report, error) { return firmware.BuildReport(img) }
+
+// CheckPolicy evaluates rego-lite policy source against a firmware report
+// and returns the per-rule results.
+func CheckPolicy(policySrc string, report *Report) (*audit.Result, error) {
+	return audit.CheckSource(policySrc, report)
+}

@@ -1,0 +1,83 @@
+// cheriot-audit checks a firmware report against a rego-lite policy (§4).
+//
+// Usage:
+//
+//	cheriot-audit -report firmware.json -policy policy.rego
+//	cheriot-audit -demo                 # emit a sample report to stdout
+//
+// The exit status is 0 when every rule passes, 1 on policy violations,
+// and 2 on usage or parse errors — suitable for CI sign-off gates and
+// dual-signing flows where each party runs its own policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cheriot-go/cheriot/internal/audit"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/iotapp"
+)
+
+func main() {
+	reportPath := flag.String("report", "", "path to the linker-emitted firmware report (JSON)")
+	policyPath := flag.String("policy", "", "path to the rego-lite policy")
+	demo := flag.Bool("demo", false, "print the IoT case-study firmware report and exit")
+	flag.Parse()
+
+	if *demo {
+		if err := emitDemo(); err != nil {
+			fmt.Fprintln(os.Stderr, "cheriot-audit:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *reportPath == "" || *policyPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: cheriot-audit -report firmware.json -policy policy.rego")
+		os.Exit(2)
+	}
+
+	reportBytes, err := os.ReadFile(*reportPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheriot-audit:", err)
+		os.Exit(2)
+	}
+	report, err := firmware.ParseReport(reportBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheriot-audit: bad report:", err)
+		os.Exit(2)
+	}
+	policyBytes, err := os.ReadFile(*policyPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheriot-audit:", err)
+		os.Exit(2)
+	}
+	res, err := audit.CheckSource(string(policyBytes), report)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheriot-audit: bad policy:", err)
+		os.Exit(2)
+	}
+	fmt.Print(res)
+	if !res.Passed() {
+		fmt.Println("FIRMWARE REJECTED")
+		os.Exit(1)
+	}
+	fmt.Println("firmware conforms to policy")
+}
+
+// emitDemo links the §5.3.3 IoT deployment and prints its report, so the
+// tool can be exercised without building firmware first.
+func emitDemo() error {
+	app, err := iotapp.Build()
+	if err != nil {
+		return err
+	}
+	defer app.Shutdown()
+	b, err := app.Sys.Report.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(b, '\n'))
+	return err
+}

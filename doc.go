@@ -1,0 +1,20 @@
+// Package cheriot is a deterministic software reproduction of the system
+// described in "CHERIoT RTOS: An OS for Fine-Grained Memory-Safe
+// Compartments on Low-Cost Embedded Devices" (SOSP 2025).
+//
+// The repository contains the full platform: a software CHERIoT
+// capability machine (tagged memory, load filter, background revoker), the
+// four-component TCB (loader, switcher, allocator, scheduler), the RTOS
+// programming model (opaque objects, allocation capabilities and quotas,
+// futexes, interface hardening, error handling and micro-reboots),
+// firmware auditing with a policy language, a compartmentalized network
+// stack with a simulated internet, and a small JavaScript engine — plus
+// the benchmark harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Start with examples/quickstart, then see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package cheriot
+
+// Version identifies this reproduction.
+const Version = "0.1.0"

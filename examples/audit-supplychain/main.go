@@ -1,0 +1,105 @@
+// Supply-chain auditing (§4, §5.1.3): the liblzma-style backdoor, caught
+// mechanically before the firmware ever ships.
+//
+// The example links two versions of the same firmware: a clean one, and
+// one where a new release of the "liblzma" compartment quietly declares an
+// import of the network API (which it would need for its calls not to
+// trap at run time). The integrator's policy — written once, checked on
+// every release — fails the backdoored image.
+//
+// Run with: go run ./examples/audit-supplychain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/audit"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+)
+
+const policy = `
+# The integrator's standing policy for this firmware line.
+
+# Fig. 4: there must be only one caller to the network API.
+rule single_net_caller {
+	count(compartments_calling("NetAPI")) == 1
+}
+
+# The compression library is pure: no imports at all.
+rule lzma_is_pure {
+	count(imports_of("liblzma")) == 0
+}
+
+# Only the network compartment touches the NIC.
+rule nic_exclusive {
+	count(compartments_with_mmio("net")) == 1 &&
+	contains(compartments_with_mmio("net"), "NetAPI")
+}
+
+# Heap quotas must fit the heap (no availability hazard).
+rule quotas_fit_heap {
+	sum_quotas() <= heap_size()
+}
+`
+
+func nop(ctx api.Context, args []api.Value) []api.Value { return api.EV(api.OK) }
+
+func buildFirmware(backdoored bool) *firmware.Image {
+	img := firmware.NewImage("sshd-device")
+	img.AddCompartment(&firmware.Compartment{
+		Name: "NetAPI", CodeSize: 4096, DataSize: 256,
+		AllocCaps: []firmware.AllocCap{{Name: "netbufs", Quota: 16384}},
+		Imports:   []firmware.Import{{Kind: firmware.ImportMMIO, Target: firmware.DeviceNet}},
+		Exports: []*firmware.Export{
+			{Name: "network_socket_connect_tcp", MinStack: 1024, Entry: nop},
+		},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "sshd", CodeSize: 30000, DataSize: 2048,
+		Imports: []firmware.Import{
+			{Kind: firmware.ImportCall, Target: "NetAPI", Entry: "network_socket_connect_tcp"},
+			{Kind: firmware.ImportCall, Target: "liblzma", Entry: "decompress"},
+		},
+		Exports: []*firmware.Export{{Name: "serve", MinStack: 4096, Entry: nop}},
+	})
+	lzma := &firmware.Compartment{
+		Name: "liblzma", CodeSize: 8192, DataSize: 64,
+		Exports: []*firmware.Export{{Name: "decompress", MinStack: 2048, Entry: nop}},
+	}
+	if backdoored {
+		// The malicious release needs network access for its exfiltration
+		// code. On CHERIoT it cannot hide the dependency: without the
+		// import, its calls trap; with it, the linker report shows it.
+		lzma.Imports = append(lzma.Imports, firmware.Import{
+			Kind: firmware.ImportCall, Target: "NetAPI", Entry: "network_socket_connect_tcp",
+		})
+	}
+	img.AddCompartment(lzma)
+	img.AddThread(&firmware.Thread{Name: "main", Compartment: "sshd", Entry: "serve",
+		Priority: 1, StackSize: 8192, TrustedStackFrames: 12})
+	return img
+}
+
+func check(name string, img *firmware.Image) {
+	report, err := firmware.BuildReport(img)
+	if err != nil {
+		log.Fatalf("link %s: %v", name, err)
+	}
+	res, err := audit.CheckSource(policy, report)
+	if err != nil {
+		log.Fatalf("audit %s: %v", name, err)
+	}
+	verdict := "SIGN-OFF: OK"
+	if !res.Passed() {
+		verdict = "SIGN-OFF: REFUSED"
+	}
+	fmt.Printf("--- %s ---\n%s%s\n\n", name, res, verdict)
+}
+
+func main() {
+	fmt.Println("Auditing firmware releases against the integrator policy:")
+	check("release 5.6.0 (clean)", buildFirmware(false))
+	check("release 5.6.1 (backdoored liblzma)", buildFirmware(true))
+}

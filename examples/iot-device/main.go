@@ -1,0 +1,69 @@
+// IoT device (§5.3.3 case study): a JavaScript application connects to an
+// MQTT broker over TLS on the simulated network, subscribes to
+// notifications, survives a "ping of death" that micro-reboots the TCP/IP
+// compartment, and blinks the LEDs on each delivered notification.
+//
+// The program prints the Fig. 7 trace: per-second CPU load with phase
+// annotations, the micro-reboot duration, and the deployment's memory
+// footprint.
+//
+// Run with: go run ./examples/iot-device
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/iotapp"
+)
+
+func main() {
+	app, err := iotapp.Build()
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	defer app.Shutdown()
+
+	res, err := app.Run()
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	fmt.Println("=== IoT deployment (Fig. 7 scenario) ===")
+	fmt.Printf("compartments: %d   code: %.1f KB   data: %.1f KB   heap high water: %.1f KB\n",
+		res.Compartments,
+		float64(res.Footprint.CodeBytes)/1024,
+		float64(res.Footprint.DataBytes)/1024,
+		float64(res.HeapHighWater)/1024)
+	fmt.Printf("run: %.1f simulated seconds, average CPU load %.1f%%\n",
+		res.TotalSeconds, res.AvgLoadPct)
+	fmt.Printf("TCP/IP micro-reboots: %d (last took %.0f ms)\n", res.Reboots, res.RebootMs)
+	fmt.Printf("notifications delivered: %d, LED changes: %d\n\n",
+		res.Notifications, res.LEDChanges)
+
+	fmt.Println("phase timeline:")
+	for i, p := range res.Phases {
+		sec := float64(p.Cycle) / float64(hw.DefaultHz)
+		dur := ""
+		if i+1 < len(res.Phases) {
+			dur = fmt.Sprintf(" (%.1fs)", float64(res.Phases[i+1].Cycle-p.Cycle)/float64(hw.DefaultHz))
+		}
+		fmt.Printf("  t=%5.1fs  %s%s\n", sec, p.Name, dur)
+	}
+
+	fmt.Println("\nCPU load (one bar per second, | = phase change):")
+	marks := map[int]string{}
+	for _, p := range res.Phases {
+		marks[int(p.Cycle/hw.DefaultHz)] = p.Name
+	}
+	for _, s := range res.Samples {
+		bar := strings.Repeat("#", int(s.LoadPct/2.5))
+		note := ""
+		if name, ok := marks[s.Second]; ok {
+			note = "  | " + name
+		}
+		fmt.Printf("  %3ds %5.1f%% %-40s%s\n", s.Second, s.LoadPct, bar, note)
+	}
+}

@@ -1,0 +1,64 @@
+package cheriot_test
+
+import (
+	"testing"
+
+	cheriot "github.com/cheriot-go/cheriot"
+)
+
+// TestFacadeEndToEnd exercises the public facade the way a downstream
+// user would: define an image, boot, run, audit — without touching any
+// internal package.
+func TestFacadeEndToEnd(t *testing.T) {
+	img := cheriot.NewImage("facade")
+	var got uint32
+	img.AddCompartment(&cheriot.Compartment{
+		Name: "svc", CodeSize: 128, DataSize: 0,
+		Exports: []*cheriot.Export{{Name: "answer", MinStack: 64,
+			Entry: func(ctx cheriot.Context, args []cheriot.Value) []cheriot.Value {
+				return []cheriot.Value{cheriot.W(uint32(cheriot.OK)), cheriot.W(42)}
+			}}},
+	})
+	img.AddCompartment(&cheriot.Compartment{
+		Name: "app", CodeSize: 128, DataSize: 0,
+		Imports: []cheriot.Import{{Kind: cheriot.ImportCall, Target: "svc", Entry: "answer"}},
+		Exports: []*cheriot.Export{{Name: "main", MinStack: 256,
+			Entry: func(ctx cheriot.Context, args []cheriot.Value) []cheriot.Value {
+				rets, err := ctx.Call("svc", "answer")
+				if err == nil && cheriot.ErrnoOf(rets) == cheriot.OK {
+					got = rets[1].AsWord()
+				}
+				return nil
+			}}},
+	})
+	img.AddThread(&cheriot.Thread{Name: "t", Compartment: "app", Entry: "main",
+		Priority: 1, StackSize: 1024, TrustedStackFrames: 4})
+
+	sys, err := cheriot.Boot(img)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	defer sys.Shutdown()
+	if err := sys.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 42 {
+		t.Fatalf("answer = %d", got)
+	}
+
+	res, err := cheriot.CheckPolicy(`
+		rule only_app_calls_svc {
+			count(compartments_calling("svc")) == 1 &&
+			contains(compartments_calling("svc"), "app")
+		}
+	`, sys.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("policy failed:\n%s", res)
+	}
+	if cheriot.Version == "" {
+		t.Fatal("no version")
+	}
+}

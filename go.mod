@@ -1,0 +1,3 @@
+module github.com/cheriot-go/cheriot
+
+go 1.22

@@ -1,0 +1,63 @@
+package alloc_test
+
+import (
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/alloc"
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/cap"
+)
+
+// TestAllocationsAreRepresentable: every capability the allocator hands
+// out must be exactly encodable in the compressed bounds format — the
+// reason real CHERIoT allocators round sizes and align bases (§2.1).
+func TestAllocationsAreRepresentable(t *testing.T) {
+	sizes := []uint32{1, 7, 65, 513, 1000, 4097, 30_000, 65_537, 100_000}
+	runApp(t, 220*1024, nil, func(ctx api.Context) {
+		cl := alloc.Client{}
+		for _, size := range sizes {
+			obj, errno := cl.Malloc(ctx, size)
+			if errno != api.OK {
+				t.Errorf("malloc(%d): %v", size, errno)
+				continue
+			}
+			if !cap.BoundsRepresentable(obj.Base(), obj.Length()) {
+				t.Errorf("malloc(%d) -> [%#x, +%d): not representable",
+					size, obj.Base(), obj.Length())
+			}
+			if obj.Length() < size {
+				t.Errorf("malloc(%d) -> only %d bytes", size, obj.Length())
+			}
+			// The rounding is bounded: no more than one alignment step.
+			if obj.Length()-size > 2*cap.RepresentableAlignment(obj.Length()) {
+				t.Errorf("malloc(%d) over-rounded to %d", size, obj.Length())
+			}
+			if e := cl.Free(ctx, obj); e != api.OK {
+				t.Errorf("free(%d): %v", size, e)
+			}
+		}
+	})
+}
+
+// TestQuotaChargesRoundedSize: the quota accounts for what was actually
+// reserved, so rounding cannot be used to over-commit the heap.
+func TestQuotaChargesRoundedSize(t *testing.T) {
+	runApp(t, 256*1024, nil, func(ctx api.Context) {
+		cl := alloc.Client{}
+		before, _ := cl.QuotaRemaining(ctx)
+		obj, errno := cl.Malloc(ctx, 65_537) // rounds to 65,792
+		if errno != api.OK {
+			t.Errorf("malloc: %v", errno)
+			return
+		}
+		after, _ := cl.QuotaRemaining(ctx)
+		if before-after != obj.Length() {
+			t.Errorf("quota charged %d, object is %d bytes", before-after, obj.Length())
+		}
+		cl.Free(ctx, obj)
+		restored, _ := cl.QuotaRemaining(ctx)
+		if restored != before {
+			t.Errorf("quota after free = %d, want %d", restored, before)
+		}
+	})
+}

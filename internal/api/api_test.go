@@ -1,0 +1,44 @@
+package api
+
+import (
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/cap"
+)
+
+func TestValueHelpers(t *testing.T) {
+	w := W(42)
+	if w.IsCap || w.AsWord() != 42 {
+		t.Fatalf("W(42) = %+v", w)
+	}
+	c := C(cap.New(0x100, 0x200, 0x180, cap.PermData))
+	if !c.IsCap {
+		t.Fatal("C() did not mark the value as a capability")
+	}
+	// The word view of a capability is its cursor, like a register read.
+	if c.AsWord() != 0x180 {
+		t.Fatalf("capability AsWord = %#x, want cursor", c.AsWord())
+	}
+}
+
+func TestErrnoEncoding(t *testing.T) {
+	for _, e := range []Errno{
+		OK, ErrInvalid, ErrNoMemory, ErrNotPermitted, ErrTimeout,
+		ErrWouldBlock, ErrNotFound, ErrUnwound, ErrCompartmentBusy,
+		ErrQueueFull, ErrQueueEmpty, ErrConnRefused, ErrConnReset,
+	} {
+		if e.Error() == "" || e.Error() == "unknown error" {
+			t.Errorf("Errno(%d) has no message", e)
+		}
+		// Round trip through a return-register list.
+		if got := ErrnoOf(EV(e)); got != e {
+			t.Errorf("ErrnoOf(EV(%d)) = %d", e, got)
+		}
+	}
+	if Errno(-999).Error() != "unknown error" {
+		t.Error("unknown errno must say so")
+	}
+	if ErrnoOf(nil) != ErrInvalid {
+		t.Error("empty return list must decode as invalid")
+	}
+}

@@ -1,0 +1,478 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cheriot-go/cheriot/internal/firmware"
+)
+
+// Value is a policy-expression value: int64, bool, string, or a set of
+// strings (compartment/entry names).
+type Value struct {
+	Int  int64
+	Bool bool
+	Str  string
+	Set  []string
+	Kind ValueKind
+}
+
+// ValueKind discriminates Value.
+type ValueKind int8
+
+// Value kinds.
+const (
+	KindInt ValueKind = iota
+	KindBool
+	KindString
+	KindSet
+)
+
+func vInt(i int64) Value  { return Value{Kind: KindInt, Int: i} }
+func vBool(b bool) Value  { return Value{Kind: KindBool, Bool: b} }
+func vStr(s string) Value { return Value{Kind: KindString, Str: s} }
+func vSet(s []string) Value {
+	sort.Strings(s)
+	dedup := s[:0]
+	for i, x := range s {
+		if i == 0 || s[i-1] != x {
+			dedup = append(dedup, x)
+		}
+	}
+	return Value{Kind: KindSet, Set: dedup}
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindBool:
+		return fmt.Sprintf("%t", v.Bool)
+	case KindString:
+		return fmt.Sprintf("%q", v.Str)
+	default:
+		return "{" + strings.Join(v.Set, ", ") + "}"
+	}
+}
+
+// evaluator binds the builtins to one firmware report.
+type evaluator struct {
+	r *firmware.Report
+}
+
+func (e *evaluator) eval(x expr) (Value, error) {
+	switch n := x.(type) {
+	case intLit:
+		return vInt(n.v), nil
+	case strLit:
+		return vStr(n.v), nil
+	case boolLit:
+		return vBool(n.v), nil
+	case unaryExpr:
+		v, err := e.eval(n.x)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind != KindBool {
+			return Value{}, fmt.Errorf("! applied to non-bool %s", v)
+		}
+		return vBool(!v.Bool), nil
+	case binExpr:
+		return e.evalBin(n)
+	case callExpr:
+		return e.call(n)
+	}
+	return Value{}, fmt.Errorf("audit: unknown expression")
+}
+
+func (e *evaluator) evalBin(n binExpr) (Value, error) {
+	l, err := e.eval(n.l)
+	if err != nil {
+		return Value{}, err
+	}
+	// Short-circuit boolean operators.
+	if n.op == "&&" || n.op == "||" {
+		if l.Kind != KindBool {
+			return Value{}, fmt.Errorf("line %d: %s on non-bool", n.line, n.op)
+		}
+		if n.op == "&&" && !l.Bool {
+			return vBool(false), nil
+		}
+		if n.op == "||" && l.Bool {
+			return vBool(true), nil
+		}
+		r, err := e.eval(n.r)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Kind != KindBool {
+			return Value{}, fmt.Errorf("line %d: %s on non-bool", n.line, n.op)
+		}
+		return vBool(r.Bool), nil
+	}
+	r, err := e.eval(n.r)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.op {
+	case "==", "!=":
+		eq, err := equalValues(l, r)
+		if err != nil {
+			return Value{}, fmt.Errorf("line %d: %v", n.line, err)
+		}
+		if n.op == "!=" {
+			eq = !eq
+		}
+		return vBool(eq), nil
+	case "<", "<=", ">", ">=":
+		if l.Kind != KindInt || r.Kind != KindInt {
+			return Value{}, fmt.Errorf("line %d: %s needs integers, got %s and %s", n.line, n.op, l, r)
+		}
+		switch n.op {
+		case "<":
+			return vBool(l.Int < r.Int), nil
+		case "<=":
+			return vBool(l.Int <= r.Int), nil
+		case ">":
+			return vBool(l.Int > r.Int), nil
+		default:
+			return vBool(l.Int >= r.Int), nil
+		}
+	case "+", "-", "*":
+		if l.Kind != KindInt || r.Kind != KindInt {
+			return Value{}, fmt.Errorf("line %d: %s needs integers", n.line, n.op)
+		}
+		switch n.op {
+		case "+":
+			return vInt(l.Int + r.Int), nil
+		case "-":
+			return vInt(l.Int - r.Int), nil
+		default:
+			return vInt(l.Int * r.Int), nil
+		}
+	}
+	return Value{}, fmt.Errorf("line %d: unknown operator %q", n.line, n.op)
+}
+
+func equalValues(l, r Value) (bool, error) {
+	if l.Kind != r.Kind {
+		return false, fmt.Errorf("comparing %s with %s", l, r)
+	}
+	switch l.Kind {
+	case KindInt:
+		return l.Int == r.Int, nil
+	case KindBool:
+		return l.Bool == r.Bool, nil
+	case KindString:
+		return l.Str == r.Str, nil
+	default:
+		if len(l.Set) != len(r.Set) {
+			return false, nil
+		}
+		for i := range l.Set {
+			if l.Set[i] != r.Set[i] {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+}
+
+// call dispatches the report-query builtins.
+func (e *evaluator) call(n callExpr) (Value, error) {
+	argVals := make([]Value, len(n.args))
+	for i, a := range n.args {
+		v, err := e.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		argVals[i] = v
+	}
+	str := func(i int) (string, error) {
+		if i >= len(argVals) || argVals[i].Kind != KindString {
+			return "", fmt.Errorf("line %d: %s: argument %d must be a string", n.line, n.fn, i+1)
+		}
+		return argVals[i].Str, nil
+	}
+	switch n.fn {
+	case "count":
+		if len(argVals) != 1 || argVals[0].Kind != KindSet {
+			return Value{}, fmt.Errorf("line %d: count() takes one set", n.line)
+		}
+		return vInt(int64(len(argVals[0].Set))), nil
+
+	case "contains":
+		if len(argVals) != 2 || argVals[0].Kind != KindSet || argVals[1].Kind != KindString {
+			return Value{}, fmt.Errorf("line %d: contains(set, string)", n.line)
+		}
+		for _, s := range argVals[0].Set {
+			if s == argVals[1].Str {
+				return vBool(true), nil
+			}
+		}
+		return vBool(false), nil
+
+	case "compartments":
+		var out []string
+		for name := range e.r.Compartments {
+			out = append(out, name)
+		}
+		return vSet(out), nil
+
+	case "compartment_exists":
+		name, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		_, ok := e.r.Compartments[name]
+		return vBool(ok), nil
+
+	case "compartments_calling":
+		// All compartments importing any entry of the target (Fig. 4).
+		target, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		var out []string
+		for name, c := range e.r.Compartments {
+			for _, im := range c.Imports {
+				if im.Kind == "call" && im.Target == target {
+					out = append(out, name)
+					break
+				}
+			}
+		}
+		return vSet(out), nil
+
+	case "compartments_calling_entry":
+		target, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		entry, err := str(1)
+		if err != nil {
+			return Value{}, err
+		}
+		var out []string
+		for name, c := range e.r.Compartments {
+			for _, im := range c.Imports {
+				if im.Kind == "call" && im.Target == target && im.Entry == entry {
+					out = append(out, name)
+					break
+				}
+			}
+		}
+		return vSet(out), nil
+
+	case "compartments_with_mmio":
+		dev, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		var out []string
+		for name, c := range e.r.Compartments {
+			for _, im := range c.Imports {
+				if im.Kind == "mmio" && im.Target == dev {
+					out = append(out, name)
+					break
+				}
+			}
+		}
+		return vSet(out), nil
+
+	case "imports_of":
+		comp, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		c, ok := e.r.Compartments[comp]
+		if !ok {
+			return Value{}, fmt.Errorf("line %d: no compartment %q", n.line, comp)
+		}
+		var out []string
+		for _, im := range c.Imports {
+			entry := im.Target
+			if im.Entry != "" {
+				entry += "." + im.Entry
+			}
+			out = append(out, im.Kind+":"+entry)
+		}
+		return vSet(out), nil
+
+	case "exports_of":
+		comp, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		c, ok := e.r.Compartments[comp]
+		if !ok {
+			return Value{}, fmt.Errorf("line %d: no compartment %q", n.line, comp)
+		}
+		var out []string
+		for _, ex := range c.Exports {
+			out = append(out, ex.Function)
+		}
+		return vSet(out), nil
+
+	case "compartments_importing_sealed":
+		// Who can present a given static sealed object (e.g. a delegated
+		// allocation capability)?
+		owner, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		obj, err := str(1)
+		if err != nil {
+			return Value{}, err
+		}
+		var out []string
+		for name, c := range e.r.Compartments {
+			for _, im := range c.Imports {
+				if im.Kind == "sealed-object" && im.Target == owner && im.Entry == obj {
+					out = append(out, name)
+					break
+				}
+			}
+		}
+		// The owner itself always holds its own allocation capabilities
+		// and static sealed objects.
+		if oc, ok := e.r.Compartments[owner]; ok {
+			for _, ac := range oc.AllocCaps {
+				if ac.Name == obj {
+					out = append(out, owner)
+				}
+			}
+			for _, so := range oc.StaticSealed {
+				if so == obj {
+					out = append(out, owner)
+				}
+			}
+		}
+		return vSet(out), nil
+
+	case "compartments_sharing":
+		// Every compartment with any grant on a shared global; audits
+		// statically-visible sharing (§3.2.5).
+		global, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		var out []string
+		for name, c := range e.r.Compartments {
+			for _, sg := range c.SharedAccess {
+				if sg.Name == global {
+					out = append(out, name)
+					break
+				}
+			}
+		}
+		return vSet(out), nil
+
+	case "writers_of":
+		global, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		var out []string
+		for name, c := range e.r.Compartments {
+			for _, sg := range c.SharedAccess {
+				if sg.Name == global && sg.Access == "rw" {
+					out = append(out, name)
+					break
+				}
+			}
+		}
+		return vSet(out), nil
+
+	case "quota_of":
+		comp, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		c, ok := e.r.Compartments[comp]
+		if !ok {
+			return Value{}, fmt.Errorf("line %d: no compartment %q", n.line, comp)
+		}
+		var total int64
+		for _, ac := range c.AllocCaps {
+			total += int64(ac.Quota)
+		}
+		return vInt(total), nil
+
+	case "sum_quotas":
+		var total int64
+		for _, c := range e.r.Compartments {
+			for _, ac := range c.AllocCaps {
+				total += int64(ac.Quota)
+			}
+		}
+		return vInt(total), nil
+
+	case "heap_size":
+		return vInt(int64(e.r.HeapSize)), nil
+
+	case "has_error_handler":
+		comp, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		c, ok := e.r.Compartments[comp]
+		if !ok {
+			return Value{}, fmt.Errorf("line %d: no compartment %q", n.line, comp)
+		}
+		return vBool(c.HasErrorHandler), nil
+
+	case "threads_in":
+		comp, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		var out []string
+		for _, th := range e.r.Threads {
+			if th.Compartment == comp {
+				out = append(out, th.Name)
+			}
+		}
+		return vSet(out), nil
+
+	case "thread_count":
+		return vInt(int64(len(e.r.Threads))), nil
+
+	case "code_size_of":
+		comp, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		c, ok := e.r.Compartments[comp]
+		if !ok {
+			return Value{}, fmt.Errorf("line %d: no compartment %q", n.line, comp)
+		}
+		return vInt(int64(c.CodeSize)), nil
+
+	case "exports_with_posture":
+		// Every "compartment.entry" whose interrupt posture matches;
+		// auditing code that disables interrupts (§2.1).
+		posture, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		var out []string
+		for name, c := range e.r.Compartments {
+			for _, ex := range c.Exports {
+				if ex.Posture == posture {
+					out = append(out, name+"."+ex.Function)
+				}
+			}
+		}
+		for name, l := range e.r.Libraries {
+			for _, ex := range l.Exports {
+				if ex.Posture == posture {
+					out = append(out, name+"."+ex.Function)
+				}
+			}
+		}
+		return vSet(out), nil
+	}
+	return Value{}, fmt.Errorf("line %d: unknown function %q", n.line, n.fn)
+}

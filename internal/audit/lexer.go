@@ -1,0 +1,161 @@
+// Package audit implements firmware auditing (§4): mechanical checking of
+// the linker-emitted JSON report against integrator policies, without
+// access to compartment sources.
+//
+// Policies are written in a small declarative expression language
+// ("rego-lite", standing in for the Rego policies the paper uses): a
+// policy is a set of named rules, each an expression over the report that
+// must evaluate to true. The builtins mirror the queries the paper shows,
+// e.g. count(compartments_calling("NetAPI")) == 1.
+package audit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokString
+	tokPunct // ( ) { } ,
+	tokOp    // == != <= >= < > && || ! + - *
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src), line: 1} }
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.peek()
+	l.pos++
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		for unicode.IsSpace(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '#' {
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+			continue
+		}
+		// C++-style comments are tolerated too.
+		if l.peek() == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line := l.line
+	r := l.peek()
+	switch {
+	case r == 0:
+		return token{kind: tokEOF, line: line}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_' {
+			sb.WriteRune(l.advance())
+		}
+		return token{kind: tokIdent, text: sb.String(), line: line}, nil
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		for unicode.IsDigit(l.peek()) || l.peek() == '_' {
+			if c := l.advance(); c != '_' {
+				sb.WriteRune(c)
+			}
+		}
+		n, err := strconv.ParseInt(sb.String(), 10, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("line %d: bad integer %q", line, sb.String())
+		}
+		return token{kind: tokInt, num: n, line: line}, nil
+	case r == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			c := l.advance()
+			if c == 0 {
+				return token{}, fmt.Errorf("line %d: unterminated string", line)
+			}
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				c = l.advance()
+			}
+			sb.WriteRune(c)
+		}
+		return token{kind: tokString, text: sb.String(), line: line}, nil
+	case strings.ContainsRune("(){},", r):
+		l.advance()
+		return token{kind: tokPunct, text: string(r), line: line}, nil
+	default:
+		// Operators, longest match first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = string(l.src[l.pos : l.pos+2])
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||":
+			l.advance()
+			l.advance()
+			return token{kind: tokOp, text: two, line: line}, nil
+		}
+		if strings.ContainsRune("<>!+-*", r) {
+			l.advance()
+			return token{kind: tokOp, text: string(r), line: line}, nil
+		}
+		return token{}, fmt.Errorf("line %d: unexpected character %q", line, string(r))
+	}
+}
+
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

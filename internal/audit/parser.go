@@ -1,0 +1,256 @@
+package audit
+
+import "fmt"
+
+// AST node kinds. Expressions evaluate to Value (int, bool, string, or
+// set of strings).
+type expr interface{ node() }
+
+type intLit struct{ v int64 }
+type strLit struct{ v string }
+type boolLit struct{ v bool }
+
+type callExpr struct {
+	fn   string
+	args []expr
+	line int
+}
+
+type unaryExpr struct {
+	op string
+	x  expr
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+	line int
+}
+
+func (intLit) node()    {}
+func (strLit) node()    {}
+func (boolLit) node()   {}
+func (callExpr) node()  {}
+func (unaryExpr) node() {}
+func (binExpr) node()   {}
+
+// Rule is one named policy requirement.
+type Rule struct {
+	Name string
+	Line int
+	body expr
+}
+
+// Policy is a parsed rego-lite policy: every rule must hold for the
+// firmware to pass.
+type Policy struct {
+	Rules []Rule
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if t.kind != kind || (text != "" && t.text != text) {
+		return t, fmt.Errorf("line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	return p.next(), nil
+}
+
+// ParsePolicy parses rego-lite source into a Policy.
+//
+//	rule quota_bounded { sum_quotas() <= heap_size() }
+func ParsePolicy(src string) (*Policy, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var pol Policy
+	seen := map[string]bool{}
+	for p.cur().kind != tokEOF {
+		if _, err := p.expect(tokIdent, "rule"); err != nil {
+			return nil, err
+		}
+		nameTok := p.cur()
+		if nameTok.kind != tokIdent {
+			return nil, fmt.Errorf("line %d: expected rule name", nameTok.line)
+		}
+		if seen[nameTok.text] {
+			return nil, fmt.Errorf("line %d: duplicate rule %q", nameTok.line, nameTok.text)
+		}
+		seen[nameTok.text] = true
+		p.next()
+		if _, err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		pol.Rules = append(pol.Rules, Rule{Name: nameTok.text, Line: nameTok.line, body: body})
+	}
+	if len(pol.Rules) == 0 {
+		return nil, fmt.Errorf("audit: policy has no rules")
+	}
+	return &pol, nil
+}
+
+// parseExpr := or
+func (p *parser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && p.cur().text == "||" {
+		line := p.next().line
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "||", l: l, r: r, line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && p.cur().text == "&&" {
+		line := p.next().line
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "&&", l: l, r: r, line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokOp {
+		switch p.cur().text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			op := p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return binExpr{op: op.text, l: l, r: r, line: op.line}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: op.text, l: l, r: r, line: op.line}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && p.cur().text == "*" {
+		op := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: op.text, l: l, r: r, line: op.line}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.cur().kind == tokOp && p.cur().text == "!" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: "!", x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		return intLit{v: t.num}, nil
+	case tokString:
+		p.next()
+		return strLit{v: t.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			p.next()
+			return boolLit{v: true}, nil
+		case "false":
+			p.next()
+			return boolLit{v: false}, nil
+		}
+		p.next()
+		if p.cur().kind == tokPunct && p.cur().text == "(" {
+			p.next()
+			var args []expr
+			for !(p.cur().kind == tokPunct && p.cur().text == ")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.cur().kind == tokPunct && p.cur().text == "," {
+					p.next()
+				}
+			}
+			p.next() // ')'
+			return callExpr{fn: t.text, args: args, line: t.line}, nil
+		}
+		return nil, fmt.Errorf("line %d: bare identifier %q (did you mean %s(...)?)", t.line, t.text, t.text)
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %q", t.line, t.text)
+}

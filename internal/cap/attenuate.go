@@ -1,0 +1,51 @@
+package cap
+
+// Attenuate applies CHERIoT's deep-attenuation rules to a capability that
+// has just been loaded from memory through authority (§2.1):
+//
+//   - if the authority lacks PermLoadMutable, the loaded capability loses
+//     PermStore and PermLoadMutable (deep immutability);
+//   - if the authority lacks PermLoadGlobal, the loaded capability loses
+//     PermGlobal and PermLoadGlobal (deep no-capture);
+//   - if the authority lacks PermLoadStoreCap, the loaded value is not a
+//     capability at all: the tag is cleared.
+//
+// The rules compose transitively: because the loaded capability itself
+// loses the Load* permissions, anything loaded through it is attenuated the
+// same way, which is what makes the guarantee deep rather than shallow.
+func Attenuate(loaded, authority Capability) Capability {
+	if !authority.perms.Has(PermLoadStoreCap) {
+		return loaded.ClearTag()
+	}
+	if !loaded.tag {
+		return loaded
+	}
+	drop := Perm(0)
+	if !authority.perms.Has(PermLoadMutable) {
+		drop |= PermStore | PermLoadMutable
+	}
+	if !authority.perms.Has(PermLoadGlobal) {
+		drop |= PermGlobal | PermLoadGlobal
+	}
+	loaded.perms = loaded.perms.Without(drop)
+	return loaded
+}
+
+// CheckStoreCap validates storing the capability value through authority.
+// Beyond the ordinary store checks, storing a capability requires
+// PermLoadStoreCap on the authority, and storing a local (non-global)
+// capability requires PermStoreLocal (§2.1). It returns the error the
+// hardware would trap with, or nil.
+func CheckStoreCap(value, authority Capability) error {
+	if err := authority.CheckAccess(PermStore|PermLoadStoreCap, GranuleSize); err != nil {
+		return err
+	}
+	if value.tag && !value.perms.Has(PermGlobal) && !authority.perms.Has(PermStoreLocal) {
+		return ErrPermitViolation
+	}
+	return nil
+}
+
+// GranuleSize is the size in bytes of a capability in memory and of the
+// revocation-bit granule. Every capability store is GranuleSize-aligned.
+const GranuleSize = 8

@@ -1,0 +1,280 @@
+package cap
+
+import "testing"
+
+func TestRootCoversEverything(t *testing.T) {
+	r := Root(0, 0x10000)
+	if !r.Valid() {
+		t.Fatal("root must be tagged")
+	}
+	if r.Perms() != PermMax {
+		t.Fatalf("root perms = %v, want all", r.Perms())
+	}
+	if r.Base() != 0 || r.Top() != 0x10000 {
+		t.Fatalf("root bounds = [%#x,%#x)", r.Base(), r.Top())
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var c Capability
+	if c.Valid() {
+		t.Fatal("zero value must be untagged")
+	}
+	if err := c.CheckAccess(PermLoad, 1); err != ErrTagViolation {
+		t.Fatalf("access through null: %v, want tag violation", err)
+	}
+}
+
+func TestSetBoundsShrinksOnly(t *testing.T) {
+	r := Root(0x1000, 0x2000)
+	c, err := r.WithAddress(0x1100).SetBounds(0x100)
+	if err != nil {
+		t.Fatalf("SetBounds: %v", err)
+	}
+	if c.Base() != 0x1100 || c.Top() != 0x1200 {
+		t.Fatalf("bounds = [%#x,%#x), want [0x1100,0x1200)", c.Base(), c.Top())
+	}
+	// Growing is impossible, in every direction.
+	if _, err := c.WithAddress(0x1000).SetBounds(0x10); err != ErrBoundsViolation {
+		t.Fatalf("grow below base: err = %v, want bounds violation", err)
+	}
+	if _, err := c.WithAddress(0x11f0).SetBounds(0x20); err != ErrBoundsViolation {
+		t.Fatalf("grow past top: err = %v, want bounds violation", err)
+	}
+	if got, _ := c.WithAddress(0x1000).SetBounds(0x10); got.Valid() {
+		t.Fatal("failed SetBounds must clear the tag")
+	}
+}
+
+func TestSetBoundsZeroLengthAtTop(t *testing.T) {
+	r := Root(0, 0x100)
+	c, err := r.WithAddress(0x100).SetBounds(0)
+	if err != nil {
+		t.Fatalf("zero-length bounds at top: %v", err)
+	}
+	if c.Length() != 0 {
+		t.Fatalf("length = %d, want 0", c.Length())
+	}
+}
+
+func TestAndPermsIsMonotonic(t *testing.T) {
+	c := New(0, 0x100, 0, PermLoad|PermStore)
+	d, err := c.AndPerms(PermLoad | PermExecute)
+	if err != nil {
+		t.Fatalf("AndPerms: %v", err)
+	}
+	if d.Perms() != PermLoad {
+		t.Fatalf("perms = %v, want LD only (no right added)", d.Perms())
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	obj := New(0x100, 0x200, 0x100, PermData)
+	auth := New(uint32(TypeToken), uint32(TypeToken)+1, uint32(TypeToken), PermSeal|PermUnseal)
+
+	sealed, err := obj.Seal(auth)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if !sealed.Sealed() || sealed.Type() != TypeToken {
+		t.Fatalf("sealed type = %v, want token", sealed.Type())
+	}
+	// A sealed capability is frozen: no deref, no mutation.
+	if err := sealed.CheckAccess(PermLoad, 1); err != ErrSealViolation {
+		t.Fatalf("access sealed: %v, want seal violation", err)
+	}
+	if got := sealed.WithAddress(0x104); got.Valid() {
+		t.Fatal("moving a sealed cursor must clear the tag")
+	}
+	if _, err := sealed.SetBounds(4); err != ErrSealViolation {
+		t.Fatalf("SetBounds on sealed: %v, want seal violation", err)
+	}
+
+	unsealed, err := sealed.Unseal(auth)
+	if err != nil {
+		t.Fatalf("Unseal: %v", err)
+	}
+	if !unsealed.Equal(obj) {
+		t.Fatalf("round trip mismatch: %v != %v", unsealed, obj)
+	}
+}
+
+func TestUnsealWrongTypeFails(t *testing.T) {
+	obj := New(0, 0x100, 0, PermData)
+	sealTok := New(uint32(TypeToken), uint32(TypeToken)+1, uint32(TypeToken), PermSeal|PermUnseal)
+	sealAlloc := New(uint32(TypeAllocator), uint32(TypeAllocator)+1, uint32(TypeAllocator), PermSeal|PermUnseal)
+
+	sealed, err := obj.Seal(sealTok)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := sealed.Unseal(sealAlloc); err != ErrTypeViolation {
+		t.Fatalf("unseal with wrong authority: %v, want type violation", err)
+	}
+}
+
+func TestSealRequiresPermAndRange(t *testing.T) {
+	obj := New(0, 0x100, 0, PermData)
+	noPerm := New(uint32(TypeToken), uint32(TypeToken)+1, uint32(TypeToken), PermUnseal)
+	if _, err := obj.Seal(noPerm); err != ErrPermitViolation {
+		t.Fatalf("seal without PermSeal: %v", err)
+	}
+	badType := New(0, 1, 0, PermSeal) // type 0 is not a data sealing type
+	if _, err := obj.Seal(badType); err != ErrTypeViolation {
+		t.Fatalf("seal with non-seal type: %v", err)
+	}
+	outOfBounds := New(uint32(TypeToken), uint32(TypeToken)+1, uint32(TypeAllocator), PermSeal)
+	if _, err := obj.Seal(outOfBounds); err != ErrTypeViolation {
+		t.Fatalf("seal with out-of-bounds cursor: %v", err)
+	}
+}
+
+func TestSentryPosture(t *testing.T) {
+	code := New(0x4000, 0x5000, 0x4000, PermCode)
+	for _, tc := range []struct {
+		typ     OType
+		posture int
+	}{
+		{TypeSentryInherit, 0},
+		{TypeSentryEnable, +1},
+		{TypeSentryDisable, -1},
+		{TypeSentryReturnEnable, +1},
+		{TypeSentryReturnDisable, -1},
+	} {
+		s, err := code.SealEntry(tc.typ)
+		if err != nil {
+			t.Fatalf("SealEntry(%v): %v", tc.typ, err)
+		}
+		u, posture, err := s.UnsealEntry()
+		if err != nil {
+			t.Fatalf("UnsealEntry(%v): %v", tc.typ, err)
+		}
+		if posture != tc.posture {
+			t.Errorf("%v posture = %d, want %d", tc.typ, posture, tc.posture)
+		}
+		if !u.Equal(code) {
+			t.Errorf("%v: unsealed sentry differs from original", tc.typ)
+		}
+	}
+}
+
+func TestSentryRequiresExecute(t *testing.T) {
+	data := New(0, 0x100, 0, PermData)
+	if _, err := data.SealEntry(TypeSentryInherit); err != ErrPermitViolation {
+		t.Fatalf("SealEntry on data: %v, want permit violation", err)
+	}
+	if _, _, err := data.UnsealEntry(); err != ErrSealViolation {
+		t.Fatalf("UnsealEntry on unsealed: %v, want seal violation", err)
+	}
+}
+
+func TestDeepImmutabilityAttenuation(t *testing.T) {
+	inner := New(0x200, 0x300, 0x200, PermData)
+	authority := New(0x100, 0x200, 0x100, PermData.Without(PermLoadMutable))
+	got := Attenuate(inner, authority)
+	if got.Perms().HasAny(PermStore | PermLoadMutable) {
+		t.Fatalf("loaded perms = %v; store rights must be stripped", got.Perms())
+	}
+	if !got.Perms().Has(PermLoad) {
+		t.Fatal("load permission must survive")
+	}
+	// Transitivity: the attenuated capability attenuates further loads too.
+	inner2 := New(0x400, 0x500, 0x400, PermData)
+	got2 := Attenuate(inner2, got)
+	if got2.Perms().HasAny(PermStore | PermLoadMutable) {
+		t.Fatal("deep immutability must be transitive")
+	}
+}
+
+func TestDeepNoCaptureAttenuation(t *testing.T) {
+	inner := New(0x200, 0x300, 0x200, PermData)
+	authority := New(0x100, 0x200, 0x100, PermData.Without(PermLoadGlobal))
+	got := Attenuate(inner, authority)
+	if got.Perms().HasAny(PermGlobal | PermLoadGlobal) {
+		t.Fatalf("loaded perms = %v; global rights must be stripped", got.Perms())
+	}
+}
+
+func TestAttenuateWithoutMCClearsTag(t *testing.T) {
+	inner := New(0x200, 0x300, 0x200, PermData)
+	authority := New(0x100, 0x200, 0x100, PermLoad|PermStore)
+	if got := Attenuate(inner, authority); got.Valid() {
+		t.Fatal("loading a cap without MC must clear the tag")
+	}
+}
+
+func TestStoreLocalRule(t *testing.T) {
+	local := New(0x200, 0x300, 0x200, PermStack) // no PermGlobal
+	global := New(0x200, 0x300, 0x200, PermData)
+
+	heap := New(0x1000, 0x2000, 0x1000, PermData) // no PermStoreLocal
+	stack := New(0x3000, 0x4000, 0x3000, PermStack)
+
+	if err := CheckStoreCap(local, heap); err != ErrPermitViolation {
+		t.Fatalf("store local cap to heap: %v, want permit violation", err)
+	}
+	if err := CheckStoreCap(global, heap); err != nil {
+		t.Fatalf("store global cap to heap: %v", err)
+	}
+	if err := CheckStoreCap(local, stack); err != nil {
+		t.Fatalf("store local cap to stack: %v", err)
+	}
+}
+
+func TestReadOnlyAndNoCaptureHelpers(t *testing.T) {
+	c := New(0, 0x100, 0, PermData)
+	ro, err := c.ReadOnly()
+	if err != nil {
+		t.Fatalf("ReadOnly: %v", err)
+	}
+	if ro.Perms().HasAny(PermStore | PermLoadMutable) {
+		t.Fatal("ReadOnly left store rights")
+	}
+	nc, err := c.NoCapture()
+	if err != nil {
+		t.Fatalf("NoCapture: %v", err)
+	}
+	if nc.Perms().HasAny(PermGlobal | PermLoadGlobal) {
+		t.Fatal("NoCapture left global rights")
+	}
+}
+
+func TestCheckAccessBounds(t *testing.T) {
+	c := New(0x100, 0x110, 0x100, PermData)
+	if err := c.CheckAccess(PermLoad, 16); err != nil {
+		t.Fatalf("full-range load: %v", err)
+	}
+	if err := c.CheckAccess(PermLoad, 17); err != ErrBoundsViolation {
+		t.Fatalf("overlong load: %v, want bounds violation", err)
+	}
+	if err := c.WithAddress(0xff).CheckAccess(PermLoad, 1); err != ErrBoundsViolation {
+		t.Fatalf("below-base load: %v, want bounds violation", err)
+	}
+	if err := c.CheckAccess(PermExecute, 1); err != ErrPermitViolation {
+		t.Fatalf("missing perm: %v, want permit violation", err)
+	}
+}
+
+func TestOffsetWraps(t *testing.T) {
+	c := New(0x100, 0x200, 0x180, PermData)
+	if got := c.Offset(-0x40).Address(); got != 0x140 {
+		t.Fatalf("Offset(-0x40) = %#x, want 0x140", got)
+	}
+	// Out-of-bounds cursors are representable; they fault only at use.
+	oob := c.Offset(0x1000)
+	if !oob.Valid() {
+		t.Fatal("out-of-bounds cursor must stay tagged")
+	}
+	if err := oob.CheckAccess(PermLoad, 1); err != ErrBoundsViolation {
+		t.Fatalf("use at oob cursor: %v", err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if s := (PermLoad | PermStore).String(); s != "LD SD" {
+		t.Fatalf("String = %q, want \"LD SD\"", s)
+	}
+	if s := Perm(0).String(); s != "-" {
+		t.Fatalf("String(0) = %q", s)
+	}
+}

@@ -1,0 +1,287 @@
+package cap
+
+import "fmt"
+
+// Capability is a software model of a CHERIoT capability: a tagged,
+// bounded, typed pointer. The zero value is an untagged (invalid, null)
+// capability.
+//
+// Capability is a small value type; all derivation methods return a new
+// value and never mutate the receiver, mirroring the register-to-register
+// capability instructions of the ISA. Any derivation that would increase
+// rights returns an untagged capability together with an error describing
+// the violation.
+type Capability struct {
+	base   uint32
+	top    uint32 // exclusive
+	cursor uint32
+	perms  Perm
+	otype  OType
+	tag    bool
+}
+
+// Root returns the omnipotent capability over [base, top) with every
+// permission. Only the loader may call it (at boot, before compartments
+// run); the simulator enforces this by construction because compartment
+// code never imports this package's Root.
+func Root(base, top uint32) Capability {
+	return Capability{base: base, top: top, cursor: base, perms: PermMax, tag: true}
+}
+
+// New returns a tagged capability with explicit bounds, cursor and
+// permissions. It is a convenience for tests and for the loader; it is the
+// moral equivalent of deriving from Root.
+func New(base, top, cursor uint32, perms Perm) Capability {
+	return Capability{base: base, top: top, cursor: cursor, perms: perms, tag: true}
+}
+
+// Null returns the untagged null capability.
+func Null() Capability { return Capability{} }
+
+// Valid reports whether the capability's tag is set.
+func (c Capability) Valid() bool { return c.tag }
+
+// Sealed reports whether the capability carries a non-zero object type.
+func (c Capability) Sealed() bool { return c.otype != TypeUnsealed }
+
+// Base returns the inclusive lower bound.
+func (c Capability) Base() uint32 { return c.base }
+
+// Top returns the exclusive upper bound.
+func (c Capability) Top() uint32 { return c.top }
+
+// Address returns the cursor.
+func (c Capability) Address() uint32 { return c.cursor }
+
+// Length returns the number of addressable bytes.
+func (c Capability) Length() uint32 {
+	if c.top < c.base {
+		return 0
+	}
+	return c.top - c.base
+}
+
+// Perms returns the permission set.
+func (c Capability) Perms() Perm { return c.perms }
+
+// Type returns the object type.
+func (c Capability) Type() OType { return c.otype }
+
+// InBounds reports whether an access of length n at the cursor is within
+// bounds. A zero-length access requires only base <= cursor <= top.
+func (c Capability) InBounds(n uint32) bool {
+	if c.cursor < c.base {
+		return false
+	}
+	end := uint64(c.cursor) + uint64(n)
+	return end <= uint64(c.top)
+}
+
+// ClearTag returns the capability with its tag cleared. It models what the
+// hardware does when a capability is partially overwritten in memory or
+// fails the load filter.
+func (c Capability) ClearTag() Capability {
+	c.tag = false
+	return c
+}
+
+// WithAddress returns the capability with the cursor moved to addr. Moving
+// the cursor of a sealed capability clears the tag (sealed capabilities are
+// immutable); out-of-bounds cursors are representable and only fault at use.
+func (c Capability) WithAddress(addr uint32) Capability {
+	if c.Sealed() {
+		return c.ClearTag()
+	}
+	c.cursor = addr
+	return c
+}
+
+// Offset returns the capability with the cursor advanced by delta bytes
+// (which may be negative). Like WithAddress it untags sealed capabilities.
+func (c Capability) Offset(delta int32) Capability {
+	return c.WithAddress(uint32(int64(c.cursor) + int64(delta)))
+}
+
+// SetBounds derives a capability whose bounds are exactly
+// [cursor, cursor+length). The request must be fully contained in the
+// current bounds — bounds are monotonic, they can only shrink.
+func (c Capability) SetBounds(length uint32) (Capability, error) {
+	if !c.tag {
+		return c.ClearTag(), ErrTagViolation
+	}
+	if c.Sealed() {
+		return c.ClearTag(), ErrSealViolation
+	}
+	newBase := c.cursor
+	newTop := uint64(c.cursor) + uint64(length)
+	if newBase < c.base || newTop > uint64(c.top) {
+		return c.ClearTag(), ErrBoundsViolation
+	}
+	c.base = newBase
+	c.top = uint32(newTop)
+	return c, nil
+}
+
+// AndPerms derives a capability whose permissions are the intersection of
+// the current ones with keep. Permissions are monotonic: this can only
+// remove rights.
+func (c Capability) AndPerms(keep Perm) (Capability, error) {
+	if !c.tag {
+		return c.ClearTag(), ErrTagViolation
+	}
+	if c.Sealed() {
+		return c.ClearTag(), ErrSealViolation
+	}
+	c.perms &= keep
+	return c, nil
+}
+
+// WithoutPerms derives a capability with the permissions in drop removed.
+func (c Capability) WithoutPerms(drop Perm) (Capability, error) {
+	return c.AndPerms(c.perms &^ drop)
+}
+
+// WithoutPermsMust is WithoutPerms for capabilities the caller knows to be
+// valid and unsealed; it panics on derivation failure. Kernel code uses it
+// where a failure would be a bug in the kernel itself, not a recoverable
+// condition.
+func (c Capability) WithoutPermsMust(drop Perm) Capability {
+	d, err := c.WithoutPerms(drop)
+	if err != nil {
+		panic("cap: WithoutPermsMust on invalid capability: " + err.Error())
+	}
+	return d
+}
+
+// ReadOnly derives the deeply-immutable, read-only view of c used by the
+// interface-hardening APIs (§3.2.5): no store rights, and no
+// permit-load-mutable so nothing reachable through it can be modified.
+func (c Capability) ReadOnly() (Capability, error) {
+	return c.WithoutPerms(PermStore | PermLoadMutable)
+}
+
+// NoCapture derives the deeply-local view of c: the capability loses
+// global and permit-load-global, so neither it nor anything loaded through
+// it can be stored outside stacks and register-save areas (§2.1).
+func (c Capability) NoCapture() (Capability, error) {
+	return c.WithoutPerms(PermGlobal | PermLoadGlobal)
+}
+
+// Seal stamps the object type at authority's cursor onto c. The authority
+// must be a valid, unsealed capability with PermSeal whose bounds include
+// its cursor, and the cursor must name a data sealing type.
+func (c Capability) Seal(authority Capability) (Capability, error) {
+	if !c.tag || !authority.tag {
+		return c.ClearTag(), ErrTagViolation
+	}
+	if c.Sealed() || authority.Sealed() {
+		return c.ClearTag(), ErrSealViolation
+	}
+	if !authority.perms.Has(PermSeal) {
+		return c.ClearTag(), ErrPermitViolation
+	}
+	t := OType(authority.cursor)
+	if !authority.InBounds(1) || !t.IsDataSeal() {
+		return c.ClearTag(), ErrTypeViolation
+	}
+	c.otype = t
+	return c, nil
+}
+
+// Unseal removes the seal from c using authority, which must hold
+// PermUnseal and have its cursor at c's object type.
+func (c Capability) Unseal(authority Capability) (Capability, error) {
+	if !c.tag || !authority.tag {
+		return c.ClearTag(), ErrTagViolation
+	}
+	if !c.Sealed() || authority.Sealed() {
+		return c.ClearTag(), ErrSealViolation
+	}
+	if !authority.perms.Has(PermUnseal) {
+		return c.ClearTag(), ErrPermitViolation
+	}
+	if !authority.InBounds(1) || OType(authority.cursor) != c.otype {
+		return c.ClearTag(), ErrTypeViolation
+	}
+	c.otype = TypeUnsealed
+	return c, nil
+}
+
+// SealEntry turns an executable capability into a sentry of the given
+// sentry type. Unlike data sealing, creating sentries needs no sealing
+// authority: the ISA exposes it as an instruction usable on any executable
+// capability, because a sentry only removes rights (the target becomes
+// opaque and callable only at its entry address).
+func (c Capability) SealEntry(t OType) (Capability, error) {
+	if !c.tag {
+		return c.ClearTag(), ErrTagViolation
+	}
+	if c.Sealed() {
+		return c.ClearTag(), ErrSealViolation
+	}
+	if !c.perms.Has(PermExecute) {
+		return c.ClearTag(), ErrPermitViolation
+	}
+	if !t.IsSentry() {
+		return c.ClearTag(), ErrTypeViolation
+	}
+	c.otype = t
+	return c, nil
+}
+
+// UnsealEntry is the jump-instruction unsealing of a sentry. It returns the
+// executable capability and the interrupt-posture change the sentry
+// requests (+1 enable, -1 disable, 0 inherit).
+func (c Capability) UnsealEntry() (Capability, int, error) {
+	if !c.tag {
+		return c.ClearTag(), 0, ErrTagViolation
+	}
+	if !c.otype.IsSentry() {
+		return c.ClearTag(), 0, ErrSealViolation
+	}
+	posture := 0
+	switch c.otype {
+	case TypeSentryEnable, TypeSentryReturnEnable:
+		posture = +1
+	case TypeSentryDisable, TypeSentryReturnDisable:
+		posture = -1
+	}
+	c.otype = TypeUnsealed
+	return c, posture, nil
+}
+
+// CheckAccess validates a data access of n bytes at the cursor requiring
+// the permissions in need. It returns the error the hardware would trap
+// with, or nil.
+func (c Capability) CheckAccess(need Perm, n uint32) error {
+	if !c.tag {
+		return ErrTagViolation
+	}
+	if c.Sealed() {
+		return ErrSealViolation
+	}
+	if !c.perms.Has(need) {
+		return ErrPermitViolation
+	}
+	if !c.InBounds(n) {
+		return ErrBoundsViolation
+	}
+	return nil
+}
+
+// Equal reports full structural equality, including the tag.
+func (c Capability) Equal(o Capability) bool { return c == o }
+
+// String renders the capability in a debugger-friendly format close to the
+// CHERI convention: address [base,top) perms otype.
+func (c Capability) String() string {
+	tag := "v"
+	if !c.tag {
+		tag = "!"
+	}
+	s := fmt.Sprintf("%s 0x%08x [0x%08x,0x%08x) %s", tag, c.cursor, c.base, c.top, c.perms)
+	if c.otype != TypeUnsealed {
+		s += " " + c.otype.String()
+	}
+	return s
+}

@@ -1,0 +1,23 @@
+package cap
+
+import "errors"
+
+// Derivation and use errors. Hardware clears the tag of a capability
+// produced by an invalid derivation; the simulator additionally returns one
+// of these errors so kernel code and tests can report precise causes.
+var (
+	// ErrTagViolation indicates use of an untagged (invalid) capability.
+	ErrTagViolation = errors.New("cap: tag violation (capability is invalid)")
+	// ErrSealViolation indicates use or modification of a sealed capability,
+	// or an invalid seal/unseal request.
+	ErrSealViolation = errors.New("cap: seal violation")
+	// ErrBoundsViolation indicates an access outside the capability bounds,
+	// or an attempt to grow bounds during derivation.
+	ErrBoundsViolation = errors.New("cap: bounds violation")
+	// ErrPermitViolation indicates an access the capability's permissions
+	// do not authorize.
+	ErrPermitViolation = errors.New("cap: permit violation")
+	// ErrTypeViolation indicates a seal/unseal with a non-matching or
+	// out-of-range object type.
+	ErrTypeViolation = errors.New("cap: object type violation")
+)

@@ -1,0 +1,117 @@
+// Package cap implements the CHERIoT capability model in software.
+//
+// A capability is an unforgeable hardware pointer carrying a cursor (the
+// address it points to), bounds within which the cursor may range,
+// permissions, and an object type used by the sealing mechanism. All
+// derivation operations are monotonic: rights can only be removed, never
+// added. Violating a derivation rule clears the capability's tag, making it
+// permanently unusable, exactly as the CHERIoT ISA specifies.
+//
+// This package is the root of the simulated platform's security model:
+// every memory access in the simulator is authorized by a value of type
+// Capability, and the deep-attenuation rules (permit-load-mutable and
+// permit-load-global) that CHERIoT adds over baseline CHERI are applied on
+// every capability load (see Attenuate).
+package cap
+
+import "strings"
+
+// Perm is a bit set of capability permissions.
+//
+// The permission names follow the CHERIoT ISA. PermLoadMutable and
+// PermLoadGlobal are the two permissions CHERIoT adds over baseline CHERI
+// to support deep immutability and deep no-capture across compartment
+// interfaces (§2.1 of the paper).
+type Perm uint16
+
+const (
+	// PermGlobal marks a capability that may be stored anywhere. A
+	// capability without it ("local") may only be stored through an
+	// authorizing capability that has PermStoreLocal.
+	PermGlobal Perm = 1 << iota
+	// PermLoad allows data loads through the capability.
+	PermLoad
+	// PermStore allows data stores through the capability.
+	PermStore
+	// PermLoadStoreCap allows capabilities (not just data) to be loaded
+	// and stored through the capability.
+	PermLoadStoreCap
+	// PermStoreLocal allows storing non-global capabilities. In CHERIoT
+	// RTOS only stack and register-save-area capabilities carry it.
+	PermStoreLocal
+	// PermLoadMutable enables deep mutability: without it, any capability
+	// loaded through this one loses PermStore and PermLoadMutable.
+	PermLoadMutable
+	// PermLoadGlobal enables deep capture: without it, any capability
+	// loaded through this one loses PermGlobal and PermLoadGlobal.
+	PermLoadGlobal
+	// PermExecute allows jumping through the capability.
+	PermExecute
+	// PermSystem allows access to reserved system registers (the trusted
+	// stack pointer). Only the switcher's PC capability carries it.
+	PermSystem
+	// PermSeal allows sealing capabilities with object types within bounds.
+	PermSeal
+	// PermUnseal allows unsealing capabilities with object types in bounds.
+	PermUnseal
+	// PermUser0 is a software-defined permission. The RTOS uses it on the
+	// allocator's heap root to bypass the load filter (the allocator alone
+	// may access freed memory, §3.1.3).
+	PermUser0
+
+	permCount = 12
+)
+
+// PermMax holds every permission. It is the permission set of the
+// omnipotent root capabilities the loader starts from.
+const PermMax = PermGlobal | PermLoad | PermStore | PermLoadStoreCap |
+	PermStoreLocal | PermLoadMutable | PermLoadGlobal | PermExecute |
+	PermSystem | PermSeal | PermUnseal | PermUser0
+
+// PermData is the usual permission set for a read-write data capability.
+const PermData = PermGlobal | PermLoad | PermStore | PermLoadStoreCap |
+	PermLoadMutable | PermLoadGlobal
+
+// PermROData is the usual permission set for read-only data that may still
+// contain capabilities to be loaded at full strength.
+const PermROData = PermGlobal | PermLoad | PermLoadStoreCap | PermLoadGlobal
+
+// PermCode is the permission set of an executable capability.
+const PermCode = PermGlobal | PermLoad | PermLoadStoreCap | PermLoadGlobal | PermExecute
+
+// PermStack is the permission set of a stack capability: read-write,
+// able to hold local capabilities, but not global (so pointers into the
+// stack cannot be captured).
+const PermStack = PermLoad | PermStore | PermLoadStoreCap |
+	PermStoreLocal | PermLoadMutable | PermLoadGlobal
+
+// Has reports whether p includes every permission in q.
+func (p Perm) Has(q Perm) bool { return p&q == q }
+
+// HasAny reports whether p includes at least one permission in q.
+func (p Perm) HasAny(q Perm) bool { return p&q != 0 }
+
+// Without returns p with every permission in q removed.
+func (p Perm) Without(q Perm) Perm { return p &^ q }
+
+// IsSubsetOf reports whether every permission in p is also in q.
+func (p Perm) IsSubsetOf(q Perm) bool { return p&^q == 0 }
+
+var permNames = [permCount]string{
+	"GL", "LD", "SD", "MC", "SL", "LM", "LG", "EX", "SR", "SE", "US", "U0",
+}
+
+// String renders the permission set using the two-letter mnemonics of the
+// CHERIoT ISA, e.g. "GL LD MC".
+func (p Perm) String() string {
+	if p == 0 {
+		return "-"
+	}
+	var parts []string
+	for i := 0; i < permCount; i++ {
+		if p&(1<<i) != 0 {
+			parts = append(parts, permNames[i])
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,135 @@
+package cap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// arbitraryCap builds a random but well-formed tagged capability.
+func arbitraryCap(r *rand.Rand) Capability {
+	base := r.Uint32() % 0x8000
+	length := r.Uint32() % 0x8000
+	cursor := base + r.Uint32()%(length+1)
+	return New(base, base+length, cursor, Perm(r.Uint32())&PermMax)
+}
+
+// TestPropMonotonicDerivation checks the core security invariant of the
+// capability model: no sequence of derivation operations can produce a
+// capability with more rights (wider bounds or more permissions) than its
+// progenitor.
+func TestPropMonotonicDerivation(t *testing.T) {
+	f := func(seed int64, ops []uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		orig := arbitraryCap(r)
+		c := orig
+		for _, op := range ops {
+			var next Capability
+			switch op % 5 {
+			case 0:
+				next = c.WithAddress(c.Base() + r.Uint32()%(c.Length()+1))
+			case 1:
+				next, _ = c.SetBounds(r.Uint32() % (c.Length() + 2))
+			case 2:
+				next, _ = c.AndPerms(Perm(r.Uint32()) & PermMax)
+			case 3:
+				next, _ = c.ReadOnly()
+			case 4:
+				next, _ = c.NoCapture()
+			}
+			if next.Valid() {
+				c = next
+			}
+		}
+		if !c.Valid() {
+			return true
+		}
+		boundsShrank := c.Base() >= orig.Base() && c.Top() <= orig.Top()
+		permsShrank := c.Perms().IsSubsetOf(orig.Perms())
+		return boundsShrank && permsShrank
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropAttenuateNeverAdds checks that loading through any authority
+// never yields a capability with rights the stored one lacked.
+func TestPropAttenuateNeverAdds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stored := arbitraryCap(r)
+		authority := arbitraryCap(r)
+		got := Attenuate(stored, authority)
+		if !got.Valid() {
+			return true
+		}
+		return got.Perms().IsSubsetOf(stored.Perms()) &&
+			got.Base() == stored.Base() && got.Top() == stored.Top()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropAttenuateIdempotent: attenuating twice through the same authority
+// changes nothing the second time.
+func TestPropAttenuateIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stored := arbitraryCap(r)
+		authority := arbitraryCap(r)
+		once := Attenuate(stored, authority)
+		twice := Attenuate(once, authority)
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropSealFreezes checks that sealing any capability makes every
+// mutating derivation fail with a cleared tag.
+func TestPropSealFreezes(t *testing.T) {
+	auth := New(uint32(TypeToken), uint32(TypeToken)+1, uint32(TypeToken), PermSeal|PermUnseal)
+	f := func(seed int64, delta int32, n uint32) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := arbitraryCap(r)
+		sealed, err := c.Seal(auth)
+		if err != nil {
+			return true
+		}
+		if moved := sealed.Offset(delta % 64); delta%64 != 0 && moved.Valid() {
+			return false
+		}
+		if nb, _ := sealed.SetBounds(n % 64); nb.Valid() {
+			return false
+		}
+		if np, _ := sealed.AndPerms(PermLoad); np.Valid() {
+			return false
+		}
+		back, err := sealed.Unseal(auth)
+		return err == nil && back.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropInBoundsConsistent: CheckAccess agrees with InBounds on the
+// bounds dimension for valid unsealed capabilities.
+func TestPropInBoundsConsistent(t *testing.T) {
+	f := func(seed int64, n uint32) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := arbitraryCap(r)
+		n %= 0x10000
+		err := c.CheckAccess(0, n)
+		if c.InBounds(n) {
+			return err == nil
+		}
+		return err == ErrBoundsViolation
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

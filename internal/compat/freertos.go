@@ -1,0 +1,162 @@
+// Package compat is the source-compatibility layer of P5: FreeRTOS-style
+// task and queue APIs mapped onto CHERIoT RTOS primitives, the way the
+// paper's ported components wrap the platform (§3.2 "wrappers can easily
+// be implemented to bring compatibility", §5.2).
+//
+// Code written against vTaskDelay/xQueueCreate/xSemaphoreTake ports by
+// swapping the header: queues become the futex-based queue library on a
+// heap buffer from the compartment's default quota, delays become
+// scheduler sleeps, semaphores are single-slot queues (as in FreeRTOS
+// itself), and tick counts read the cycle clock.
+package compat
+
+import (
+	"github.com/cheriot-go/cheriot/internal/alloc"
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/libs"
+	"github.com/cheriot-go/cheriot/internal/sched"
+)
+
+// TickType mirrors FreeRTOS's TickType_t.
+type TickType = uint32
+
+// PortMaxDelay blocks forever, like portMAX_DELAY.
+const PortMaxDelay TickType = 0xffff_ffff
+
+// tickCycles is one FreeRTOS tick (1 ms) in cycles at the default clock.
+const tickCycles = hw.DefaultHz / 1000
+
+func ticksToCycles(ticks TickType) uint32 {
+	if ticks == PortMaxDelay {
+		return 0 // the scheduler's "forever"
+	}
+	if ticks == 0 {
+		// FreeRTOS zero means "do not block"; the futex API's zero means
+		// forever, so use the shortest real timeout instead.
+		return 1
+	}
+	c := uint64(ticks) * tickCycles
+	if c > 0xffff_ffff {
+		c = 0xffff_ffff
+	}
+	return uint32(c)
+}
+
+// Imports returns everything a compartment using this layer needs: the
+// allocator (queues live on the heap), the queue library, and the
+// scheduler.
+func Imports() []firmware.Import {
+	return append(append(alloc.Imports(), libs.QueueImports()...), sched.Imports()...)
+}
+
+// AddTo registers the shared libraries the layer builds on.
+func AddTo(img *firmware.Image) {
+	if img.Library(libs.QueueLib) == nil {
+		libs.AddQueueTo(img)
+	}
+}
+
+// VTaskDelay blocks the calling task for the given ticks.
+func VTaskDelay(ctx api.Context, ticks TickType) {
+	_, _ = ctx.Call(sched.Name, sched.EntrySleep, api.W(ticksToCycles(ticks)))
+}
+
+// XTaskGetTickCount returns the tick count since boot.
+func XTaskGetTickCount(ctx api.Context) TickType {
+	return TickType(ctx.Now() / tickCycles)
+}
+
+// TaskYield yields the processor, like taskYIELD.
+func TaskYield(ctx api.Context) { ctx.Yield() }
+
+// QueueHandle is an xQueue handle: a capability to the queue's heap
+// buffer. Like the original, it is freely shareable between tasks of the
+// same compartment; cross-compartment use should go through the hardened
+// queue compartment instead.
+type QueueHandle struct {
+	buf      cap.Capability
+	itemSize uint32
+}
+
+// XQueueCreate allocates a queue of length items of itemSize bytes from
+// the compartment's default allocation capability. The second result is
+// pdFALSE (false) on allocation failure, as in the original API.
+func XQueueCreate(ctx api.Context, length, itemSize uint32) (QueueHandle, bool) {
+	if length == 0 || itemSize == 0 {
+		return QueueHandle{}, false
+	}
+	buf, errno := (alloc.Client{}).Malloc(ctx, libs.QueueBytes(length, itemSize))
+	if errno != api.OK {
+		return QueueHandle{}, false
+	}
+	rets := ctx.LibCall(libs.QueueLib, libs.FnQueueInit,
+		api.C(buf), api.W(length), api.W(itemSize))
+	if api.ErrnoOf(rets) != api.OK {
+		_ = (alloc.Client{}).Free(ctx, buf)
+		return QueueHandle{}, false
+	}
+	return QueueHandle{buf: buf, itemSize: itemSize}, true
+}
+
+// VQueueDelete releases the queue's memory.
+func VQueueDelete(ctx api.Context, q QueueHandle) {
+	_ = (alloc.Client{}).Free(ctx, q.buf)
+}
+
+// XQueueSend enqueues one item, waiting up to ticksToWait. It returns
+// pdTRUE on success, pdFALSE on timeout.
+func XQueueSend(ctx api.Context, q QueueHandle, item []byte, ticksToWait TickType) bool {
+	if uint32(len(item)) != q.itemSize {
+		return false
+	}
+	elem := ctx.StackAlloc(q.itemSize)
+	ctx.StoreBytes(elem, item)
+	rets := ctx.LibCall(libs.QueueLib, libs.FnQueueSend,
+		api.C(q.buf), api.C(elem), api.W(ticksToCycles(ticksToWait)))
+	return api.ErrnoOf(rets) == api.OK
+}
+
+// XQueueReceive dequeues one item into out, waiting up to ticksToWait.
+func XQueueReceive(ctx api.Context, q QueueHandle, out []byte, ticksToWait TickType) bool {
+	if uint32(len(out)) != q.itemSize {
+		return false
+	}
+	elem := ctx.StackAlloc(q.itemSize)
+	rets := ctx.LibCall(libs.QueueLib, libs.FnQueueReceive,
+		api.C(q.buf), api.C(elem), api.W(ticksToCycles(ticksToWait)))
+	if api.ErrnoOf(rets) != api.OK {
+		return false
+	}
+	copy(out, ctx.LoadBytes(elem.WithAddress(elem.Base()), q.itemSize))
+	return true
+}
+
+// UxQueueMessagesWaiting returns the number of queued items.
+func UxQueueMessagesWaiting(ctx api.Context, q QueueHandle) uint32 {
+	rets := ctx.LibCall(libs.QueueLib, libs.FnQueueSize, api.C(q.buf))
+	return rets[0].AsWord()
+}
+
+// SemaphoreHandle is a binary semaphore. As in FreeRTOS, it is a queue of
+// length one holding zero-meaning tokens.
+type SemaphoreHandle struct{ q QueueHandle }
+
+// XSemaphoreCreateBinary creates an empty binary semaphore.
+func XSemaphoreCreateBinary(ctx api.Context) (SemaphoreHandle, bool) {
+	q, ok := XQueueCreate(ctx, 1, 4)
+	return SemaphoreHandle{q: q}, ok
+}
+
+// XSemaphoreGive posts the semaphore; it fails if already given.
+func XSemaphoreGive(ctx api.Context, s SemaphoreHandle) bool {
+	return XQueueSend(ctx, s.q, []byte{1, 0, 0, 0}, 0)
+}
+
+// XSemaphoreTake pends on the semaphore for up to ticksToWait.
+func XSemaphoreTake(ctx api.Context, s SemaphoreHandle, ticksToWait TickType) bool {
+	var tok [4]byte
+	return XQueueReceive(ctx, s.q, tok[:], ticksToWait)
+}

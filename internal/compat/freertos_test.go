@@ -1,0 +1,189 @@
+package compat_test
+
+import (
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/compat"
+	"github.com/cheriot-go/cheriot/internal/core"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+)
+
+// buildApp boots a "legacy" compartment whose tasks are written purely
+// against the FreeRTOS-style API.
+func buildApp(t *testing.T, entries map[string]api.Entry, threads []string) *core.System {
+	t.Helper()
+	img := core.NewImage("freertos-compat")
+	compat.AddTo(img)
+	comp := &firmware.Compartment{
+		Name: "legacy", CodeSize: 1024, DataSize: 64,
+		AllocCaps: []firmware.AllocCap{{Name: "default", Quota: 8192}},
+		Imports:   compat.Imports(),
+	}
+	for name, e := range entries {
+		comp.Exports = append(comp.Exports, &firmware.Export{
+			Name: name, MinStack: 1024, Entry: e,
+		})
+	}
+	img.AddCompartment(comp)
+	for i, entry := range threads {
+		img.AddThread(&firmware.Thread{
+			Name: entry + "-t", Compartment: "legacy", Entry: entry,
+			Priority: 1 + i, StackSize: 4096, TrustedStackFrames: 12,
+		})
+	}
+	s, err := core.Boot(img)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestVTaskDelayAndTicks(t *testing.T) {
+	var before, after compat.TickType
+	s := buildApp(t, map[string]api.Entry{
+		"main": func(ctx api.Context, args []api.Value) []api.Value {
+			before = compat.XTaskGetTickCount(ctx)
+			compat.VTaskDelay(ctx, 25)
+			after = compat.XTaskGetTickCount(ctx)
+			return nil
+		},
+	}, []string{"main"})
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after-before < 25 {
+		t.Fatalf("delayed %d ticks, want >= 25", after-before)
+	}
+}
+
+// TestQueueProducerConsumer is the classic FreeRTOS two-task pattern,
+// unchanged except for the header it compiles against.
+func TestQueueProducerConsumer(t *testing.T) {
+	var q compat.QueueHandle
+	ready := false
+	var received []byte
+	s := buildApp(t, map[string]api.Entry{
+		"producer": func(ctx api.Context, args []api.Value) []api.Value {
+			var ok bool
+			q, ok = compat.XQueueCreate(ctx, 4, 1)
+			if !ok {
+				t.Error("xQueueCreate failed")
+				return nil
+			}
+			ready = true
+			for _, b := range []byte("rtos") {
+				if !compat.XQueueSend(ctx, q, []byte{b}, compat.PortMaxDelay) {
+					t.Error("xQueueSend failed")
+				}
+			}
+			return nil
+		},
+		"consumer": func(ctx api.Context, args []api.Value) []api.Value {
+			for !ready {
+				compat.TaskYield(ctx)
+			}
+			var b [1]byte
+			for i := 0; i < 4; i++ {
+				if !compat.XQueueReceive(ctx, q, b[:], compat.PortMaxDelay) {
+					t.Error("xQueueReceive failed")
+					return nil
+				}
+				received = append(received, b[0])
+			}
+			return nil
+		},
+	}, []string{"consumer", "producer"}) // the producer outranks the spinner
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(received) != "rtos" {
+		t.Fatalf("received %q", received)
+	}
+}
+
+func TestQueueTimeoutsNonBlocking(t *testing.T) {
+	s := buildApp(t, map[string]api.Entry{
+		"main": func(ctx api.Context, args []api.Value) []api.Value {
+			q, ok := compat.XQueueCreate(ctx, 1, 4)
+			if !ok {
+				t.Error("create failed")
+				return nil
+			}
+			var out [4]byte
+			// Empty queue, zero wait: immediate pdFALSE.
+			if compat.XQueueReceive(ctx, q, out[:], 0) {
+				t.Error("receive from empty queue succeeded")
+			}
+			if !compat.XQueueSend(ctx, q, []byte{1, 2, 3, 4}, 0) {
+				t.Error("send to empty queue failed")
+			}
+			// Full queue, zero wait: immediate pdFALSE.
+			if compat.XQueueSend(ctx, q, []byte{5, 6, 7, 8}, 0) {
+				t.Error("send to full queue succeeded")
+			}
+			if n := compat.UxQueueMessagesWaiting(ctx, q); n != 1 {
+				t.Errorf("messages waiting = %d", n)
+			}
+			// Bounded wait on a full queue times out rather than hanging.
+			start := compat.XTaskGetTickCount(ctx)
+			if compat.XQueueSend(ctx, q, []byte{5, 6, 7, 8}, 10) {
+				t.Error("send to full queue succeeded")
+			}
+			if compat.XTaskGetTickCount(ctx)-start < 9 {
+				t.Error("bounded send returned too early")
+			}
+			compat.VQueueDelete(ctx, q)
+			return nil
+		},
+	}, []string{"main"})
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestBinarySemaphore(t *testing.T) {
+	var sem compat.SemaphoreHandle
+	ready := false
+	var order []string
+	s := buildApp(t, map[string]api.Entry{
+		"waiter": func(ctx api.Context, args []api.Value) []api.Value {
+			for !ready {
+				compat.TaskYield(ctx)
+			}
+			order = append(order, "take-start")
+			if !compat.XSemaphoreTake(ctx, sem, compat.PortMaxDelay) {
+				t.Error("take failed")
+			}
+			order = append(order, "taken")
+			return nil
+		},
+		"giver": func(ctx api.Context, args []api.Value) []api.Value {
+			var ok bool
+			sem, ok = compat.XSemaphoreCreateBinary(ctx)
+			if !ok {
+				t.Error("create failed")
+				return nil
+			}
+			ready = true
+			compat.VTaskDelay(ctx, 5)
+			order = append(order, "give")
+			if !compat.XSemaphoreGive(ctx, sem) {
+				t.Error("give failed")
+			}
+			// A second give on a binary semaphore fails until taken.
+			if compat.XSemaphoreGive(ctx, sem) {
+				t.Error("double give succeeded")
+			}
+			return nil
+		},
+	}, []string{"waiter", "giver"})
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"take-start", "give", "taken"}
+	if len(order) != 3 || order[0] != want[0] || order[1] != want[1] || order[2] != want[2] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/audit"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+)
+
+// TestSharedGlobals exercises build-time shared data (§3): a producer
+// with write access, a consumer with a deeply read-only view, and a
+// bystander with no grant at all.
+func TestSharedGlobals(t *testing.T) {
+	img := NewImage("shared")
+	img.SharedGlobals = []firmware.SharedGlobal{{
+		Name: "telemetry", Size: 64,
+		Writers: []string{"producer"},
+		Readers: []string{"consumer"},
+	}}
+	var consumerRead uint32
+	var consumerWrite error
+	var bystanderErr error
+
+	img.AddCompartment(&firmware.Compartment{
+		Name: "producer", CodeSize: 128, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "produce", MinStack: 128,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				sg := ctx.SharedGlobal("telemetry")
+				ctx.Store32(sg, 1717)
+				return api.EV(api.OK)
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "consumer", CodeSize: 128, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "consume", MinStack: 128,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				sg := ctx.SharedGlobal("telemetry")
+				consumerRead = ctx.Load32(sg)
+				// The reader's view is read-only: writes trap.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if tr, ok := r.(*hw.Trap); ok {
+								consumerWrite = tr
+								return
+							}
+							panic(r)
+						}
+					}()
+					ctx.Store32(sg, 0)
+				}()
+				return api.EV(api.OK)
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "bystander", CodeSize: 128, DataSize: 0,
+		Imports: []firmware.Import{
+			{Kind: firmware.ImportCall, Target: "producer", Entry: "produce"},
+			{Kind: firmware.ImportCall, Target: "consumer", Entry: "consume"},
+		},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, _ = ctx.Call("producer", "produce")
+				_, _ = ctx.Call("consumer", "consume")
+				// No grant: asking for the region traps.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if tr, ok := r.(*hw.Trap); ok {
+								bystanderErr = tr
+								return
+							}
+							panic(r)
+						}
+					}()
+					_ = ctx.SharedGlobal("telemetry")
+				}()
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "bystander", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 8})
+
+	s := boot(t, img)
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if consumerRead != 1717 {
+		t.Fatalf("consumer read %d, want 1717", consumerRead)
+	}
+	if tr, ok := consumerWrite.(*hw.Trap); !ok || tr.Code != hw.TrapPermitViolation {
+		t.Fatalf("consumer write = %v, want permit violation", consumerWrite)
+	}
+	if tr, ok := bystanderErr.(*hw.Trap); !ok || tr.Code != hw.TrapPermitViolation {
+		t.Fatalf("bystander access = %v, want permit violation", bystanderErr)
+	}
+
+	// The grants are all in the audit report.
+	res, err := audit.CheckSource(`
+		rule exactly_two_sharers {
+			count(compartments_sharing("telemetry")) == 2
+		}
+		rule one_writer {
+			count(writers_of("telemetry")) == 1 &&
+			contains(writers_of("telemetry"), "producer")
+		}
+	`, s.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("audit failed:\n%s", res)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/audit"
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/token"
+)
+
+// TestStaticSealedObjects exercises §3.2.1's static opaque objects and
+// §4's flagship audit example: a certificate embedded in the firmware,
+// readable only by the compartment holding the matching key — and the
+// report proves exactly who can even *present* it.
+func TestStaticSealedObjects(t *testing.T) {
+	img := NewImage("static-sealed")
+	var vaultRead string
+	var otherUnseal api.Errno
+	var otherDirect error
+
+	img.AddCompartment(&firmware.Compartment{
+		Name: "vault", CodeSize: 256, DataSize: 0,
+		SealTypes: []string{"cert"},
+		StaticSealed: []firmware.StaticSealedObject{{
+			Name: "device-cert", SealType: "cert", Size: 32,
+			Init: []byte("CERT:device-0042"),
+		}},
+		Imports: token.Imports(),
+		Exports: []*firmware.Export{{Name: "read", MinStack: 512,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				key := ctx.SealedImport("key:cert")
+				sobj := ctx.SealedImport("device-cert")
+				payload, errno := token.Unseal(ctx, key, sobj)
+				if errno != api.OK {
+					return api.EV(errno)
+				}
+				vaultRead = string(ctx.LoadBytes(payload.WithAddress(payload.Base()), 16))
+				return api.EV(api.OK)
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "other", CodeSize: 256, DataSize: 0,
+		// It can hold the sealed object, but it has no key.
+		Imports: append(token.Imports(),
+			firmware.Import{Kind: firmware.ImportSealed, Target: "vault", Entry: "device-cert"},
+			firmware.Import{Kind: firmware.ImportCall, Target: "vault", Entry: "read"}),
+		Exports: []*firmware.Export{{Name: "main", MinStack: 512,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				sobj := ctx.SealedImport("vault.device-cert")
+				if !sobj.Sealed() {
+					t.Error("static object arrived unsealed")
+				}
+				// Direct access is architecturally impossible.
+				func() {
+					defer func() { otherDirect, _ = recover().(error) }()
+					_ = ctx.Load32(sobj)
+				}()
+				// A guessed/minted key does not match the loader's type.
+				fake := cap.New(0x0800_0099, 0x0800_009a, 0x0800_0099, cap.PermSeal|cap.PermUnseal)
+				_, otherUnseal = token.Unseal(ctx, fake, sobj)
+				// The vault itself can read it.
+				if rets, err := ctx.Call("vault", "read"); err != nil || api.ErrnoOf(rets) != api.OK {
+					t.Errorf("vault read: %v %v", err, rets)
+				}
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "other", Entry: "main",
+		Priority: 1, StackSize: 4096, TrustedStackFrames: 12})
+
+	s := boot(t, img)
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if vaultRead != "CERT:device-0042" {
+		t.Fatalf("vault read %q", vaultRead)
+	}
+	if otherUnseal == api.OK {
+		t.Fatal("a forged key unsealed the certificate")
+	}
+	if otherDirect == nil {
+		t.Fatal("direct load through the sealed object did not trap")
+	}
+
+	// The audit report answers "who can present the certificate?".
+	res, err := audit.CheckSource(`
+		rule cert_reachable_by_exactly_two {
+			count(compartments_importing_sealed("vault", "device-cert")) == 2
+		}
+		rule cert_holders {
+			contains(compartments_importing_sealed("vault", "device-cert"), "vault") &&
+			contains(compartments_importing_sealed("vault", "device-cert"), "other")
+		}
+	`, s.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("audit failed:\n%s", res)
+	}
+}

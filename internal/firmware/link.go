@@ -1,0 +1,182 @@
+package firmware
+
+import (
+	"fmt"
+)
+
+// Metadata footprint model, calibrated against §5.3.1: the base overhead
+// for each additional compartment is 83 B (one descriptor, one export
+// entry, two import entries), and the minimal two-thread system carries
+// ~400 B of trusted stacks (136 B save area + 16 B per call frame).
+const (
+	// CompDescriptorBytes is the loader-consumed per-compartment record.
+	CompDescriptorBytes = 51
+	// ExportEntryBytes is one export-table entry: a code capability plus
+	// entry-point metadata (offset, argument count, minimum stack).
+	ExportEntryBytes = 16
+	// ImportEntryBytes is one import-table entry: a (sealed) capability.
+	ImportEntryBytes = 8
+	// TrustedSaveAreaBytes is the per-thread register save area on the
+	// trusted stack.
+	TrustedSaveAreaBytes = 136
+	// TrustedFrameBytes is one compartment-call frame on the trusted stack.
+	TrustedFrameBytes = 16
+	// layoutBase reserves a null page so that address 0 is never mapped.
+	layoutBase = 0x100
+	// layoutAlign is the region alignment.
+	layoutAlign = 16
+)
+
+// Region is a contiguous SRAM range.
+type Region struct {
+	Base uint32
+	Size uint32
+}
+
+// Top returns the exclusive upper bound.
+func (r Region) Top() uint32 { return r.Base + r.Size }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint32) bool { return addr >= r.Base && addr < r.Top() }
+
+// CompLayout is a compartment's assigned SRAM regions (Fig. 3).
+type CompLayout struct {
+	Code        Region
+	Data        Region
+	ExportTable Region
+	ImportTable Region
+	// StaticSealed holds the loader-instantiated sealed objects
+	// (protected header + payload each).
+	StaticSealed Region
+}
+
+// MetadataBytes is the compartment's descriptor+table overhead.
+func (cl CompLayout) MetadataBytes() uint32 {
+	return CompDescriptorBytes + cl.ExportTable.Size + cl.ImportTable.Size
+}
+
+// ThreadLayout is a thread's stack and switcher-only trusted stack.
+type ThreadLayout struct {
+	Stack        Region
+	TrustedStack Region
+}
+
+// Layout is the linker's address assignment for a whole image.
+type Layout struct {
+	Comps   map[string]CompLayout
+	Libs    map[string]Region
+	Threads map[string]ThreadLayout
+	// Shared holds the statically-shared global regions.
+	Shared map[string]Region
+	// Heap is everything left over: the shared heap (§3.1.3). The loader
+	// runs out of the start of this region and erases itself.
+	Heap Region
+}
+
+// CompartmentOverheadBytes is the base cost of moving a function into a
+// new compartment: descriptor + one export + two imports = 83 B (§5.3.1).
+const CompartmentOverheadBytes = CompDescriptorBytes + ExportEntryBytes + 2*ImportEntryBytes
+
+func align(v uint32) uint32 { return (v + layoutAlign - 1) &^ (layoutAlign - 1) }
+
+// Link validates the image and assigns SRAM addresses to every region:
+// code, globals, export/import tables, stacks, trusted stacks, and the
+// remaining shared heap. It fails if the image does not fit its SRAM.
+func Link(img *Image) (*Layout, error) {
+	if err := img.Validate(); err != nil {
+		return nil, fmt.Errorf("firmware: invalid image: %w", err)
+	}
+	l := &Layout{
+		Comps:   make(map[string]CompLayout, len(img.Compartments)),
+		Libs:    make(map[string]Region, len(img.Libraries)),
+		Threads: make(map[string]ThreadLayout, len(img.Threads)),
+		Shared:  make(map[string]Region, len(img.SharedGlobals)),
+	}
+	cursor := uint32(layoutBase)
+	place := func(size uint32) Region {
+		r := Region{Base: cursor, Size: align(size)}
+		cursor += r.Size
+		return r
+	}
+
+	for _, c := range img.Compartments {
+		var sealedBytes uint32
+		for _, so := range c.StaticSealed {
+			sealedBytes += 8 + align(so.Size)
+		}
+		cl := CompLayout{
+			Code:         place(c.CodeSize),
+			Data:         place(c.DataSize),
+			ExportTable:  place(uint32(len(c.Exports)) * ExportEntryBytes),
+			ImportTable:  place((uint32(len(c.Imports)) + uint32(len(c.AllocCaps))) * ImportEntryBytes),
+			StaticSealed: place(sealedBytes),
+		}
+		cursor += align(CompDescriptorBytes)
+		l.Comps[c.Name] = cl
+	}
+	for _, lib := range img.Libraries {
+		l.Libs[lib.Name] = place(lib.CodeSize)
+	}
+	for _, t := range img.Threads {
+		tl := ThreadLayout{
+			Stack: place(t.StackSize),
+			TrustedStack: place(TrustedSaveAreaBytes +
+				uint32(t.TrustedStackFrames)*TrustedFrameBytes),
+		}
+		l.Threads[t.Name] = tl
+	}
+	for _, sg := range img.SharedGlobals {
+		l.Shared[sg.Name] = place(sg.Size)
+	}
+
+	if cursor >= img.SRAM {
+		return nil, fmt.Errorf("firmware: image needs %d bytes, SRAM is %d", cursor, img.SRAM)
+	}
+	l.Heap = Region{Base: cursor, Size: img.SRAM - cursor}
+	if l.Heap.Size < 1024 {
+		return nil, fmt.Errorf("firmware: only %d bytes left for the heap", l.Heap.Size)
+	}
+	return l, nil
+}
+
+// Footprint summarises an image's memory usage the way Table 2 reports it.
+type Footprint struct {
+	// CodeBytes is code including libraries.
+	CodeBytes uint32
+	// DataBytes is globals + stacks + trusted stacks + metadata.
+	DataBytes uint32
+	// StackBytes and TrustedStackBytes are the per-thread components.
+	StackBytes        uint32
+	TrustedStackBytes uint32
+	// MetadataBytes is compartment and library descriptors + tables.
+	MetadataBytes uint32
+}
+
+// Measure computes the image's footprint from its definitions.
+func (img *Image) Measure() Footprint {
+	var f Footprint
+	for _, c := range img.Compartments {
+		f.CodeBytes += c.CodeSize
+		f.DataBytes += c.DataSize
+		for _, so := range c.StaticSealed {
+			f.DataBytes += 8 + so.Size
+		}
+		meta := uint32(CompDescriptorBytes) +
+			uint32(len(c.Exports))*ExportEntryBytes +
+			(uint32(len(c.Imports))+uint32(len(c.AllocCaps)))*ImportEntryBytes
+		f.MetadataBytes += meta
+	}
+	for _, sg := range img.SharedGlobals {
+		f.DataBytes += sg.Size
+	}
+	for _, lib := range img.Libraries {
+		f.CodeBytes += lib.CodeSize
+		f.MetadataBytes += CompDescriptorBytes + uint32(len(lib.Funcs))*ExportEntryBytes
+	}
+	for _, t := range img.Threads {
+		f.StackBytes += t.StackSize
+		f.TrustedStackBytes += TrustedSaveAreaBytes + uint32(t.TrustedStackFrames)*TrustedFrameBytes
+	}
+	f.DataBytes += f.StackBytes + f.TrustedStackBytes + f.MetadataBytes
+	return f
+}

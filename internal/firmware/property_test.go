@@ -1,0 +1,145 @@
+package firmware
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+)
+
+func nopE(ctx api.Context, args []api.Value) []api.Value { return nil }
+
+// randomImage builds a random (valid) image: a chain of compartments with
+// random sizes, random call imports among earlier ones, random libraries
+// and threads.
+func randomImage(rng *rand.Rand) *Image {
+	img := NewImage("prop")
+	nComp := 1 + rng.Intn(8)
+	for i := 0; i < nComp; i++ {
+		c := &Compartment{
+			Name:     fmt.Sprintf("c%d", i),
+			CodeSize: uint32(rng.Intn(8192)),
+			DataSize: uint32(rng.Intn(2048)),
+			Exports:  []*Export{{Name: "e", MinStack: uint32(rng.Intn(512)), Entry: nopE}},
+		}
+		for j := 0; j < i && rng.Intn(2) == 0; j++ {
+			c.Imports = append(c.Imports, Import{Kind: ImportCall,
+				Target: fmt.Sprintf("c%d", j), Entry: "e"})
+		}
+		if rng.Intn(3) == 0 {
+			c.AllocCaps = append(c.AllocCaps, AllocCap{Name: "q", Quota: uint32(rng.Intn(8192))})
+		}
+		if rng.Intn(4) == 0 {
+			c.SealTypes = []string{"t"}
+			c.StaticSealed = []StaticSealedObject{{Name: "o", SealType: "t",
+				Size: uint32(1 + rng.Intn(128))}}
+		}
+		img.AddCompartment(c)
+	}
+	nLib := rng.Intn(3)
+	for i := 0; i < nLib; i++ {
+		img.AddLibrary(&Library{Name: fmt.Sprintf("l%d", i),
+			CodeSize: uint32(rng.Intn(1024)),
+			Funcs:    []*Export{{Name: "f", Entry: nopE}}})
+	}
+	nThread := 1 + rng.Intn(4)
+	for i := 0; i < nThread; i++ {
+		img.AddThread(&Thread{Name: fmt.Sprintf("t%d", i),
+			Compartment: fmt.Sprintf("c%d", rng.Intn(nComp)), Entry: "e",
+			Priority: rng.Intn(10), StackSize: uint32(256 + rng.Intn(4096)),
+			TrustedStackFrames: 1 + rng.Intn(16)})
+	}
+	return img
+}
+
+// TestPropLinkNoOverlaps: for random valid images, the linker never
+// produces overlapping regions and always leaves a heap.
+func TestPropLinkNoOverlaps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		img := randomImage(rng)
+		l, err := Link(img)
+		if err != nil {
+			// Over-full images are allowed to fail; that is not an
+			// overlap bug.
+			return true
+		}
+		type reg struct{ base, top uint32 }
+		var regions []reg
+		add := func(r Region) {
+			if r.Size > 0 {
+				regions = append(regions, reg{r.Base, r.Top()})
+			}
+		}
+		for _, cl := range l.Comps {
+			add(cl.Code)
+			add(cl.Data)
+			add(cl.ExportTable)
+			add(cl.ImportTable)
+			add(cl.StaticSealed)
+		}
+		for _, r := range l.Libs {
+			add(r)
+		}
+		for _, tl := range l.Threads {
+			add(tl.Stack)
+			add(tl.TrustedStack)
+		}
+		add(l.Heap)
+		for i, a := range regions {
+			if a.top > img.SRAM {
+				return false
+			}
+			for _, b := range regions[i+1:] {
+				if a.base < b.top && b.base < a.top {
+					return false
+				}
+			}
+		}
+		return l.Heap.Size >= 1024
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropReportRoundTrips: report JSON serialization is lossless for
+// random images.
+func TestPropReportRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		img := randomImage(rng)
+		rep, err := BuildReport(img)
+		if err != nil {
+			return true
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			return false
+		}
+		back, err := ParseReport(b)
+		if err != nil {
+			return false
+		}
+		if len(back.Compartments) != len(rep.Compartments) ||
+			len(back.Threads) != len(rep.Threads) ||
+			back.HeapSize != rep.HeapSize {
+			return false
+		}
+		for name, c := range rep.Compartments {
+			bc, ok := back.Compartments[name]
+			if !ok || len(bc.Imports) != len(c.Imports) ||
+				len(bc.Exports) != len(c.Exports) ||
+				len(bc.AllocCaps) != len(c.AllocCaps) ||
+				len(bc.StaticSealed) != len(c.StaticSealed) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package hw
+
+import (
+	"container/heap"
+
+	"github.com/cheriot-go/cheriot/internal/mem"
+)
+
+// Core bundles the simulated SoC: SRAM, clock, revoker, interrupt
+// controller, and an event queue for device deadlines (timer expiry,
+// network frame arrival). The switcher drives it; compartment code reaches
+// it only through capability-checked accessors.
+type Core struct {
+	Mem     *mem.Memory
+	Clock   *Clock
+	Revoker *Revoker
+
+	irq    irqController
+	events eventQueue
+}
+
+// NewCore builds a core with the given SRAM size and clock frequency
+// (0 means DefaultHz).
+func NewCore(sramSize uint32, hz uint64) *Core {
+	m := mem.New(sramSize)
+	c := &Core{
+		Mem:     m,
+		Clock:   NewClock(hz),
+		Revoker: NewRevoker(m),
+	}
+	c.Revoker.onDone = func() { c.RaiseIRQ(IRQRevoker) }
+	return c
+}
+
+// Tick advances simulated time by n cycles: the clock moves, the revoker
+// makes proportional progress, and device events fire *at* their
+// deadlines — an event that schedules a follow-up within the same tick
+// sees the correct intermediate time.
+func (c *Core) Tick(n uint64) { c.advanceTo(c.Clock.Cycles() + n) }
+
+// SkipTo advances the clock directly to the given cycle, if it is in the
+// future. The scheduler uses it to model the idle thread: with no runnable
+// thread, time passes until the next device event.
+func (c *Core) SkipTo(cycle uint64) { c.advanceTo(cycle) }
+
+// advanceTo moves time forward to target, pausing at every event deadline
+// so that fired events observe their own firing time.
+func (c *Core) advanceTo(target uint64) {
+	for {
+		deadline, ok := c.NextEvent()
+		if !ok || deadline > target {
+			break
+		}
+		if deadline > c.Clock.Cycles() {
+			delta := deadline - c.Clock.Cycles()
+			c.Clock.Advance(delta)
+			c.Revoker.Step(delta)
+		}
+		c.fireDue()
+	}
+	if target > c.Clock.Cycles() {
+		delta := target - c.Clock.Cycles()
+		c.Clock.Advance(delta)
+		c.Revoker.Step(delta)
+	}
+}
+
+// RaiseIRQ latches an interrupt line pending.
+func (c *Core) RaiseIRQ(line IRQ) { c.irq.raise(line) }
+
+// AckIRQ clears a pending interrupt line.
+func (c *Core) AckIRQ(line IRQ) { c.irq.clear(line) }
+
+// PendingIRQ returns the highest-priority pending line, if any.
+func (c *Core) PendingIRQ() (IRQ, bool) { return c.irq.next() }
+
+// IRQPending reports whether any interrupt is pending.
+func (c *Core) IRQPending() bool { return c.irq.anyPending() }
+
+// At schedules fn to run when the clock reaches cycle. Events fire during
+// Tick/SkipTo, in deadline order (FIFO among equal deadlines).
+func (c *Core) At(cycle uint64, fn func()) {
+	heap.Push(&c.events, &event{cycle: cycle, seq: c.events.nextSeq(), fn: fn})
+}
+
+// After schedules fn to run n cycles from now.
+func (c *Core) After(n uint64, fn func()) { c.At(c.Clock.Cycles()+n, fn) }
+
+// NextEvent returns the deadline of the earliest pending event, and whether
+// one exists.
+func (c *Core) NextEvent() (uint64, bool) {
+	if len(c.events.items) == 0 {
+		return 0, false
+	}
+	return c.events.items[0].cycle, true
+}
+
+func (c *Core) fireDue() {
+	now := c.Clock.Cycles()
+	for len(c.events.items) > 0 && c.events.items[0].cycle <= now {
+		ev := heap.Pop(&c.events).(*event)
+		ev.fn()
+	}
+}
+
+// event is a deferred device action.
+type event struct {
+	cycle uint64
+	seq   uint64
+	fn    func()
+}
+
+type eventQueue struct {
+	items []*event
+	seq   uint64
+}
+
+func (q *eventQueue) nextSeq() uint64 { q.seq++; return q.seq }
+
+func (q *eventQueue) Len() int { return len(q.items) }
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].cycle != q.items[j].cycle {
+		return q.items[i].cycle < q.items[j].cycle
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+func (q *eventQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *eventQueue) Push(x interface{}) { q.items = append(q.items, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,56 @@
+package hw
+
+// IRQ identifies an interrupt line.
+type IRQ uint8
+
+// Interrupt lines of the simulated SoC.
+const (
+	IRQTimer IRQ = iota
+	IRQRevoker
+	IRQNet
+	IRQUser0
+	IRQUser1
+	irqCount
+)
+
+// IRQCount is the number of interrupt lines.
+const IRQCount = int(irqCount)
+
+func (i IRQ) String() string {
+	switch i {
+	case IRQTimer:
+		return "timer"
+	case IRQRevoker:
+		return "revoker"
+	case IRQNet:
+		return "net"
+	case IRQUser0:
+		return "user0"
+	case IRQUser1:
+		return "user1"
+	default:
+		return "irq?"
+	}
+}
+
+// irqController tracks pending interrupt lines. Enabling/deferring is a
+// property of the executing code's interrupt posture, tracked by the
+// switcher; the controller only latches pending bits.
+type irqController struct {
+	pending uint32
+}
+
+func (ic *irqController) raise(line IRQ)          { ic.pending |= 1 << line }
+func (ic *irqController) clear(line IRQ)          { ic.pending &^= 1 << line }
+func (ic *irqController) isPending(line IRQ) bool { return ic.pending&(1<<line) != 0 }
+func (ic *irqController) anyPending() bool        { return ic.pending != 0 }
+
+// next returns the lowest-numbered pending line.
+func (ic *irqController) next() (IRQ, bool) {
+	for i := IRQ(0); i < irqCount; i++ {
+		if ic.isPending(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,93 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cheriot-go/cheriot/internal/cap"
+)
+
+// TrapCode identifies the cause of a synchronous trap, mirroring the
+// CHERIoT exception cause register.
+type TrapCode uint8
+
+const (
+	// TrapNone marks the zero value; no trap.
+	TrapNone TrapCode = iota
+	// TrapTagViolation: use of an untagged capability.
+	TrapTagViolation
+	// TrapSealViolation: use of a sealed capability, or bad (un)seal.
+	TrapSealViolation
+	// TrapBoundsViolation: access outside capability bounds.
+	TrapBoundsViolation
+	// TrapPermitViolation: access without the required permission.
+	TrapPermitViolation
+	// TrapTypeViolation: seal/unseal object-type mismatch.
+	TrapTypeViolation
+	// TrapStackOverflow: compartment call with insufficient stack (§3.2.5).
+	TrapStackOverflow
+	// TrapIllegalInstruction: anything the core cannot decode; also used
+	// for explicit software-raised faults.
+	TrapIllegalInstruction
+	// TrapForcedUnwind: the switcher is tearing the thread out of a
+	// compartment on behalf of an error handler (micro-reboot step 2).
+	TrapForcedUnwind
+)
+
+var trapNames = map[TrapCode]string{
+	TrapNone:               "none",
+	TrapTagViolation:       "tag violation",
+	TrapSealViolation:      "seal violation",
+	TrapBoundsViolation:    "bounds violation",
+	TrapPermitViolation:    "permit violation",
+	TrapTypeViolation:      "object-type violation",
+	TrapStackOverflow:      "stack overflow",
+	TrapIllegalInstruction: "illegal instruction",
+	TrapForcedUnwind:       "forced unwind",
+}
+
+func (c TrapCode) String() string {
+	if s, ok := trapNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("trap(%d)", uint8(c))
+}
+
+// Trap is a synchronous fault raised by the simulated hardware. Compartment
+// code triggers traps by violating capability rules; the switcher catches
+// them at the compartment-call boundary and dispatches to the
+// compartment's error handler (§3.2.6).
+type Trap struct {
+	Code TrapCode
+	// Addr is the faulting address when the trap is memory-related.
+	Addr uint32
+	// Detail is a human-readable elaboration for diagnostics.
+	Detail string
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	if t.Detail != "" {
+		return fmt.Sprintf("trap: %s at %#x (%s)", t.Code, t.Addr, t.Detail)
+	}
+	return fmt.Sprintf("trap: %s at %#x", t.Code, t.Addr)
+}
+
+// TrapFromCapError converts a capability-rule error into the trap the
+// hardware would raise for it.
+func TrapFromCapError(err error, addr uint32) *Trap {
+	code := TrapIllegalInstruction
+	switch {
+	case errors.Is(err, cap.ErrTagViolation):
+		code = TrapTagViolation
+	case errors.Is(err, cap.ErrSealViolation):
+		code = TrapSealViolation
+	case errors.Is(err, cap.ErrBoundsViolation):
+		code = TrapBoundsViolation
+	case errors.Is(err, cap.ErrPermitViolation):
+		code = TrapPermitViolation
+	case errors.Is(err, cap.ErrTypeViolation):
+		code = TrapTypeViolation
+	}
+	return &Trap{Code: code, Addr: addr, Detail: err.Error()}
+}

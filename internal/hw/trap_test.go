@@ -1,0 +1,51 @@
+package hw
+
+import (
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/cap"
+)
+
+func TestTrapFromCapError(t *testing.T) {
+	cases := []struct {
+		err  error
+		code TrapCode
+	}{
+		{cap.ErrTagViolation, TrapTagViolation},
+		{cap.ErrSealViolation, TrapSealViolation},
+		{cap.ErrBoundsViolation, TrapBoundsViolation},
+		{cap.ErrPermitViolation, TrapPermitViolation},
+		{cap.ErrTypeViolation, TrapTypeViolation},
+	}
+	for _, tc := range cases {
+		tr := TrapFromCapError(tc.err, 0x1234)
+		if tr.Code != tc.code {
+			t.Errorf("TrapFromCapError(%v) = %v, want %v", tc.err, tr.Code, tc.code)
+		}
+		if tr.Addr != 0x1234 {
+			t.Errorf("addr = %#x", tr.Addr)
+		}
+		if tr.Error() == "" {
+			t.Error("empty message")
+		}
+	}
+	// Unknown errors decode to illegal instruction, never panic.
+	if tr := TrapFromCapError(errFake{}, 0); tr.Code != TrapIllegalInstruction {
+		t.Errorf("unknown error -> %v", tr.Code)
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+func TestTrapCodeStrings(t *testing.T) {
+	for c := TrapNone; c <= TrapForcedUnwind; c++ {
+		if c.String() == "" {
+			t.Errorf("TrapCode(%d) has no name", c)
+		}
+	}
+	if TrapCode(200).String() == "" {
+		t.Error("out-of-range code must still render")
+	}
+}

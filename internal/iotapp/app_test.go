@@ -1,0 +1,147 @@
+package iotapp
+
+import (
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/hw"
+)
+
+// TestFig7Scenario runs the full case study once and checks every claim
+// §5.3.3 makes about it.
+func TestFig7Scenario(t *testing.T) {
+	app, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer app.Shutdown()
+	res, err := app.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// The script finished with both notifications delivered.
+	if res.Notifications != 2 {
+		t.Fatalf("notifications = %d, want 2", res.Notifications)
+	}
+	// Exactly one TCP/IP micro-reboot, completing well within the
+	// reported 0.27 s.
+	if res.Reboots != 1 {
+		t.Fatalf("reboots = %d, want 1", res.Reboots)
+	}
+	if res.RebootMs <= 0 || res.RebootMs > 400 {
+		t.Fatalf("reboot took %.1f ms", res.RebootMs)
+	}
+	// The phase sequence matches Fig. 7: Setup, NTP, App Setup, Steady,
+	// (crash), App Setup, Steady, Done.
+	want := []string{"Setup", "NTP Sync.", "App. Setup", "Steady", "App. Setup", "Steady", "Done"}
+	if len(res.Phases) != len(want) {
+		t.Fatalf("phases = %v", res.Phases)
+	}
+	for i, p := range res.Phases {
+		if p.Name != want[i] {
+			t.Fatalf("phase %d = %q, want %q", i, p.Name, want[i])
+		}
+	}
+	// LEDs actually blinked (2 notifications x 3 blinks x on+off).
+	if res.LEDChanges != 12 {
+		t.Fatalf("LED changes = %d, want 12", res.LEDChanges)
+	}
+	// The deployment has the paper's 13 compartments.
+	if res.Compartments != 13 {
+		t.Fatalf("compartments = %d, want 13", res.Compartments)
+	}
+	// The run spans tens of seconds of simulated time with a meaningful
+	// mixed load, like the paper's 52 s trace at 46.5% average.
+	if res.TotalSeconds < 30 || res.TotalSeconds > 90 {
+		t.Fatalf("run took %.1f simulated seconds", res.TotalSeconds)
+	}
+	if res.AvgLoadPct < 20 || res.AvgLoadPct > 80 {
+		t.Fatalf("average load = %.1f%%", res.AvgLoadPct)
+	}
+	if len(res.Samples) < 30 {
+		t.Fatalf("only %d load samples", len(res.Samples))
+	}
+}
+
+// TestFig7Deterministic: the whole 50-second, 13-compartment scenario —
+// network, crypto, crash, recovery — is bit-for-bit reproducible.
+func TestFig7Deterministic(t *testing.T) {
+	runOnce := func() (*Result, uint64) {
+		app, err := Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		defer app.Shutdown()
+		res, err := app.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res, app.Sys.Cycles()
+	}
+	r1, c1 := runOnce()
+	r2, c2 := runOnce()
+	if c1 != c2 {
+		t.Fatalf("total cycles differ: %d vs %d", c1, c2)
+	}
+	if len(r1.Samples) != len(r2.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(r1.Samples), len(r2.Samples))
+	}
+	for i := range r1.Samples {
+		if r1.Samples[i] != r2.Samples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, r1.Samples[i], r2.Samples[i])
+		}
+	}
+	for i := range r1.Phases {
+		if r1.Phases[i] != r2.Phases[i] {
+			t.Fatalf("phase %d differs: %+v vs %+v", i, r1.Phases[i], r2.Phases[i])
+		}
+	}
+}
+
+// TestFig7LoadShape checks the load profile per phase: NTP sync is idle,
+// App Setup is crypto-bound, steady state is light.
+func TestFig7LoadShape(t *testing.T) {
+	app, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer app.Shutdown()
+	res, err := app.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	avg := func(fromSec, toSec float64) float64 {
+		var sum float64
+		n := 0
+		for _, s := range res.Samples {
+			if float64(s.Second) > fromSec && float64(s.Second) <= toSec {
+				sum += s.LoadPct
+				n++
+			}
+		}
+		if n == 0 {
+			return -1
+		}
+		return sum / float64(n)
+	}
+	secOf := func(idx int) float64 {
+		return float64(res.Phases[idx].Cycle) / float64(hw.DefaultHz)
+	}
+	// Phase boundaries (cycle -> seconds): 0 Setup, 1 NTP, 2 AppSetup,
+	// 3 Steady, 4 AppSetup2, 5 Steady2, 6 Done.
+	ntp := avg(secOf(1), secOf(2))
+	setupApp := avg(secOf(2), secOf(3))
+	steady := avg(secOf(3), secOf(3)+6)
+	if ntp > 20 {
+		t.Errorf("NTP phase load = %.1f%%, want near idle", ntp)
+	}
+	if setupApp < 70 {
+		t.Errorf("App-Setup phase load = %.1f%%, want crypto-bound (~92%%)", setupApp)
+	}
+	if steady > 40 {
+		t.Errorf("steady phase load = %.1f%%, want light", steady)
+	}
+	if setupApp <= ntp || setupApp <= steady {
+		t.Error("App-Setup must be the busiest phase")
+	}
+}

@@ -1,0 +1,55 @@
+package iotapp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/netproto"
+)
+
+// TestStormSurvival is the in-tree version of cmd/cheriot-fuzz: a seeded
+// storm of malformed frames (including spoofed pings of death) lands
+// throughout the run, and the deployment must still finish its scenario —
+// micro-reboots contained the damage.
+func TestStormSurvival(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		app, err := Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		allowed := []uint32{DNSIP, NTPIP, BrokerIP}
+		for i := 0; i < 200; i++ {
+			delay := uint64(rng.Intn(45 * hw.DefaultHz))
+			n := 1 + rng.Intn(96)
+			frame := make([]byte, n)
+			rng.Read(frame)
+			switch rng.Intn(3) {
+			case 1:
+				if n >= 12 {
+					netproto.Put32(frame[0:], DeviceIP)
+					netproto.Put32(frame[4:], allowed[rng.Intn(len(allowed))])
+					frame[8] = byte(1 + rng.Intn(3))
+				}
+			case 2:
+				frame = app.World.PingOfDeath(allowed[rng.Intn(len(allowed))])
+			}
+			f := frame
+			app.Sys.Board.Core.After(delay, func() { app.World.InjectRaw(f) })
+		}
+		res, err := app.Run()
+		app.Shutdown()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Notifications != 2 {
+			t.Fatalf("seed %d: device did not complete (%d notifications, %d reboots)",
+				seed, res.Notifications, res.Reboots)
+		}
+		if res.Reboots == 0 {
+			t.Fatalf("seed %d: the storm caused no reboots; injection broken?", seed)
+		}
+		t.Logf("seed %d: survived %d micro-reboots in %.1f s", seed, res.Reboots, res.TotalSeconds)
+	}
+}

@@ -1,0 +1,492 @@
+package jsvm
+
+import "fmt"
+
+// Opcodes. An instruction is one uint32: opcode in the low 8 bits, an
+// unsigned operand in the high 24.
+const (
+	opConst = iota // push constant pool [operand]
+	opLoad         // push variable [operand]
+	opStore        // pop into variable [operand]
+	opPop          // drop top of stack
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMod
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opNot
+	opNeg
+	opJmp  // jump to [operand]
+	opJz   // pop; jump to [operand] if falsy
+	opCall // call host function [operand>>8], argc = [operand&0xff]
+	opRet  // pop and halt with the value
+	opHalt // halt with undefined (0)
+)
+
+func ins(op, operand int) uint32 { return uint32(op) | uint32(operand)<<8 }
+
+// Value is a VM value: a 32-bit number or a string.
+type Value struct {
+	Num   int32
+	Str   string
+	IsStr bool
+}
+
+// N wraps a number.
+func N(n int32) Value { return Value{Num: n} }
+
+// S wraps a string.
+func S(s string) Value { return Value{Str: s, IsStr: true} }
+
+// Truthy implements JS-flavoured truthiness for the subset.
+func (v Value) Truthy() bool {
+	if v.IsStr {
+		return v.Str != ""
+	}
+	return v.Num != 0
+}
+
+func (v Value) String() string {
+	if v.IsStr {
+		return v.Str
+	}
+	return fmt.Sprintf("%d", v.Num)
+}
+
+// Program is a compiled script.
+type Program struct {
+	Code    []uint32
+	Consts  []Value
+	NumVars int
+	// HostNames records the host-function import order; the VM binds them
+	// positionally, so the embedder's registry must match.
+	HostNames []string
+}
+
+// CodeBytes reports the compiled size, for footprint accounting.
+func (p *Program) CodeBytes() int { return len(p.Code) * 4 }
+
+type loopCtx struct {
+	continueTo int   // jump target for continue (loop condition)
+	breaks     []int // opJmp sites to patch to the loop end
+}
+
+type compiler struct {
+	toks  []tok
+	pos   int
+	code  []uint32
+	cons  []Value
+	vars  map[string]int
+	hosts map[string]int
+	loops []loopCtx
+	prog  *Program
+}
+
+// Compile translates a script to bytecode. hostNames lists the host
+// functions the script may call; calls to anything else are compile
+// errors, which mirrors Microvium's snapshot-time import resolution.
+func Compile(src string, hostNames []string) (*Program, error) {
+	toks, err := lexScript(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		toks:  toks,
+		vars:  make(map[string]int),
+		hosts: make(map[string]int, len(hostNames)),
+	}
+	for i, h := range hostNames {
+		c.hosts[h] = i
+	}
+	for c.cur().kind != tkEOF {
+		if err := c.statement(); err != nil {
+			return nil, err
+		}
+	}
+	c.emit(opHalt, 0)
+	return &Program{
+		Code: c.code, Consts: c.cons, NumVars: len(c.vars),
+		HostNames: append([]string(nil), hostNames...),
+	}, nil
+}
+
+func (c *compiler) cur() tok  { return c.toks[c.pos] }
+func (c *compiler) next() tok { t := c.toks[c.pos]; c.pos++; return t }
+
+func (c *compiler) expect(kind tokKind, text string) error {
+	t := c.cur()
+	if t.kind != kind || (text != "" && t.text != text) {
+		return fmt.Errorf("line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	c.next()
+	return nil
+}
+
+func (c *compiler) emit(op, operand int) int {
+	c.code = append(c.code, ins(op, operand))
+	return len(c.code) - 1
+}
+
+func (c *compiler) patch(at int, target int) {
+	op := c.code[at] & 0xff
+	c.code[at] = ins(int(op), target)
+}
+
+func (c *compiler) constant(v Value) int {
+	for i, x := range c.cons {
+		if x == v {
+			return i
+		}
+	}
+	c.cons = append(c.cons, v)
+	return len(c.cons) - 1
+}
+
+func (c *compiler) statement() error {
+	t := c.cur()
+	switch {
+	case t.kind == tkKeyword && t.text == "var":
+		c.next()
+		name := c.cur()
+		if name.kind != tkIdent {
+			return fmt.Errorf("line %d: expected variable name", name.line)
+		}
+		c.next()
+		if _, exists := c.vars[name.text]; exists {
+			return fmt.Errorf("line %d: %q already declared", name.line, name.text)
+		}
+		slot := len(c.vars)
+		c.vars[name.text] = slot
+		if c.cur().kind == tkOp && c.cur().text == "=" {
+			c.next()
+			if err := c.expression(); err != nil {
+				return err
+			}
+		} else {
+			c.emit(opConst, c.constant(N(0)))
+		}
+		c.emit(opStore, slot)
+		return c.expect(tkPunct, ";")
+
+	case t.kind == tkKeyword && t.text == "if":
+		c.next()
+		if err := c.expect(tkPunct, "("); err != nil {
+			return err
+		}
+		if err := c.expression(); err != nil {
+			return err
+		}
+		if err := c.expect(tkPunct, ")"); err != nil {
+			return err
+		}
+		jz := c.emit(opJz, 0)
+		if err := c.block(); err != nil {
+			return err
+		}
+		if c.cur().kind == tkKeyword && c.cur().text == "else" {
+			c.next()
+			jmp := c.emit(opJmp, 0)
+			c.patch(jz, len(c.code))
+			if c.cur().kind == tkKeyword && c.cur().text == "if" {
+				if err := c.statement(); err != nil {
+					return err
+				}
+			} else if err := c.block(); err != nil {
+				return err
+			}
+			c.patch(jmp, len(c.code))
+		} else {
+			c.patch(jz, len(c.code))
+		}
+		return nil
+
+	case t.kind == tkKeyword && t.text == "while":
+		c.next()
+		top := len(c.code)
+		if err := c.expect(tkPunct, "("); err != nil {
+			return err
+		}
+		if err := c.expression(); err != nil {
+			return err
+		}
+		if err := c.expect(tkPunct, ")"); err != nil {
+			return err
+		}
+		jz := c.emit(opJz, 0)
+		c.loops = append(c.loops, loopCtx{continueTo: top})
+		if err := c.block(); err != nil {
+			return err
+		}
+		c.emit(opJmp, top)
+		c.patch(jz, len(c.code))
+		loop := c.loops[len(c.loops)-1]
+		c.loops = c.loops[:len(c.loops)-1]
+		for _, at := range loop.breaks {
+			c.patch(at, len(c.code))
+		}
+		return nil
+
+	case t.kind == tkKeyword && (t.text == "break" || t.text == "continue"):
+		c.next()
+		if len(c.loops) == 0 {
+			return fmt.Errorf("line %d: %s outside a loop", t.line, t.text)
+		}
+		if t.text == "continue" {
+			c.emit(opJmp, c.loops[len(c.loops)-1].continueTo)
+		} else {
+			at := c.emit(opJmp, 0)
+			c.loops[len(c.loops)-1].breaks = append(c.loops[len(c.loops)-1].breaks, at)
+		}
+		return c.expect(tkPunct, ";")
+
+	case t.kind == tkKeyword && t.text == "return":
+		c.next()
+		if c.cur().kind == tkPunct && c.cur().text == ";" {
+			c.emit(opConst, c.constant(N(0)))
+		} else if err := c.expression(); err != nil {
+			return err
+		}
+		c.emit(opRet, 0)
+		return c.expect(tkPunct, ";")
+
+	case t.kind == tkKeyword && t.text == "function":
+		return fmt.Errorf("line %d: user-defined functions are not supported in this subset", t.line)
+
+	case t.kind == tkPunct && t.text == "{":
+		return c.block()
+
+	case t.kind == tkIdent && c.toks[c.pos+1].kind == tkOp && c.toks[c.pos+1].text == "=":
+		slot, ok := c.vars[t.text]
+		if !ok {
+			return fmt.Errorf("line %d: assignment to undeclared %q", t.line, t.text)
+		}
+		c.next()
+		c.next()
+		if err := c.expression(); err != nil {
+			return err
+		}
+		c.emit(opStore, slot)
+		return c.expect(tkPunct, ";")
+
+	default:
+		// Expression statement (usually a host call).
+		if err := c.expression(); err != nil {
+			return err
+		}
+		c.emit(opPop, 0)
+		return c.expect(tkPunct, ";")
+	}
+}
+
+func (c *compiler) block() error {
+	if err := c.expect(tkPunct, "{"); err != nil {
+		return err
+	}
+	for !(c.cur().kind == tkPunct && c.cur().text == "}") {
+		if c.cur().kind == tkEOF {
+			return fmt.Errorf("unexpected end of script in block")
+		}
+		if err := c.statement(); err != nil {
+			return err
+		}
+	}
+	c.next()
+	return nil
+}
+
+// expression := or
+func (c *compiler) expression() error { return c.or() }
+
+func (c *compiler) or() error {
+	if err := c.and(); err != nil {
+		return err
+	}
+	for c.cur().kind == tkOp && c.cur().text == "||" {
+		c.next()
+		// Short-circuit: if lhs truthy, result 1 without evaluating rhs.
+		jz := c.emit(opJz, 0)
+		one := c.emit(opConst, c.constant(N(1)))
+		_ = one
+		end := c.emit(opJmp, 0)
+		c.patch(jz, len(c.code))
+		if err := c.and(); err != nil {
+			return err
+		}
+		// Normalize to 0/1.
+		jz2 := c.emit(opJz, 0)
+		c.emit(opConst, c.constant(N(1)))
+		end2 := c.emit(opJmp, 0)
+		c.patch(jz2, len(c.code))
+		c.emit(opConst, c.constant(N(0)))
+		c.patch(end2, len(c.code))
+		c.patch(end, len(c.code))
+	}
+	return nil
+}
+
+func (c *compiler) and() error {
+	if err := c.comparison(); err != nil {
+		return err
+	}
+	for c.cur().kind == tkOp && c.cur().text == "&&" {
+		c.next()
+		jz := c.emit(opJz, 0)
+		if err := c.comparison(); err != nil {
+			return err
+		}
+		jz2 := c.emit(opJz, 0)
+		c.emit(opConst, c.constant(N(1)))
+		end := c.emit(opJmp, 0)
+		c.patch(jz, len(c.code))
+		c.patch(jz2, len(c.code))
+		c.emit(opConst, c.constant(N(0)))
+		c.patch(end, len(c.code))
+	}
+	return nil
+}
+
+var cmpOps = map[string]int{"==": opEq, "!=": opNe, "<": opLt, "<=": opLe, ">": opGt, ">=": opGe}
+
+func (c *compiler) comparison() error {
+	if err := c.additive(); err != nil {
+		return err
+	}
+	if c.cur().kind == tkOp {
+		if op, ok := cmpOps[c.cur().text]; ok {
+			c.next()
+			if err := c.additive(); err != nil {
+				return err
+			}
+			c.emit(op, 0)
+		}
+	}
+	return nil
+}
+
+func (c *compiler) additive() error {
+	if err := c.multiplicative(); err != nil {
+		return err
+	}
+	for c.cur().kind == tkOp && (c.cur().text == "+" || c.cur().text == "-") {
+		op := opAdd
+		if c.cur().text == "-" {
+			op = opSub
+		}
+		c.next()
+		if err := c.multiplicative(); err != nil {
+			return err
+		}
+		c.emit(op, 0)
+	}
+	return nil
+}
+
+func (c *compiler) multiplicative() error {
+	if err := c.unary(); err != nil {
+		return err
+	}
+	for c.cur().kind == tkOp &&
+		(c.cur().text == "*" || c.cur().text == "/" || c.cur().text == "%") {
+		op := opMul
+		switch c.cur().text {
+		case "/":
+			op = opDiv
+		case "%":
+			op = opMod
+		}
+		c.next()
+		if err := c.unary(); err != nil {
+			return err
+		}
+		c.emit(op, 0)
+	}
+	return nil
+}
+
+func (c *compiler) unary() error {
+	t := c.cur()
+	if t.kind == tkOp && t.text == "!" {
+		c.next()
+		if err := c.unary(); err != nil {
+			return err
+		}
+		c.emit(opNot, 0)
+		return nil
+	}
+	if t.kind == tkOp && t.text == "-" {
+		c.next()
+		if err := c.unary(); err != nil {
+			return err
+		}
+		c.emit(opNeg, 0)
+		return nil
+	}
+	return c.primary()
+}
+
+func (c *compiler) primary() error {
+	t := c.cur()
+	switch {
+	case t.kind == tkNumber:
+		c.next()
+		c.emit(opConst, c.constant(N(t.num)))
+		return nil
+	case t.kind == tkString:
+		c.next()
+		c.emit(opConst, c.constant(S(t.text)))
+		return nil
+	case t.kind == tkKeyword && t.text == "true":
+		c.next()
+		c.emit(opConst, c.constant(N(1)))
+		return nil
+	case t.kind == tkKeyword && t.text == "false":
+		c.next()
+		c.emit(opConst, c.constant(N(0)))
+		return nil
+	case t.kind == tkIdent:
+		c.next()
+		if c.cur().kind == tkPunct && c.cur().text == "(" {
+			// Host call.
+			id, ok := c.hosts[t.text]
+			if !ok {
+				return fmt.Errorf("line %d: unknown function %q", t.line, t.text)
+			}
+			c.next()
+			argc := 0
+			for !(c.cur().kind == tkPunct && c.cur().text == ")") {
+				if err := c.expression(); err != nil {
+					return err
+				}
+				argc++
+				if c.cur().kind == tkPunct && c.cur().text == "," {
+					c.next()
+				}
+			}
+			c.next()
+			if argc > 255 {
+				return fmt.Errorf("line %d: too many arguments", t.line)
+			}
+			c.emit(opCall, id<<8|argc)
+			return nil
+		}
+		slot, ok := c.vars[t.text]
+		if !ok {
+			return fmt.Errorf("line %d: undeclared variable %q", t.line, t.text)
+		}
+		c.emit(opLoad, slot)
+		return nil
+	case t.kind == tkPunct && t.text == "(":
+		c.next()
+		if err := c.expression(); err != nil {
+			return err
+		}
+		return c.expect(tkPunct, ")")
+	}
+	return fmt.Errorf("line %d: unexpected token %q", t.line, t.text)
+}

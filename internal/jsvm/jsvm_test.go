@@ -1,0 +1,266 @@
+package jsvm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// eval compiles and runs a script with no host functions.
+func eval(t *testing.T, src string) Value {
+	t.Helper()
+	prog, err := Compile(src, nil)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	vm, err := NewVM(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.MaxSteps = 1_000_000
+	v, err := vm.Run()
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int32
+	}{
+		{"return 1 + 2 * 3;", 7},
+		{"return (1 + 2) * 3;", 9},
+		{"return 10 / 3;", 3},
+		{"return 10 % 3;", 1},
+		{"return -5 + 2;", -3},
+		{"return 7 - 2 - 1;", 4},
+		{"return 1 < 2;", 1},
+		{"return 2 <= 1;", 0},
+		{"return 3 == 3;", 1},
+		{"return 3 != 3;", 0},
+		{"return !0;", 1},
+		{"return !7;", 0},
+		{"return 1 && 2;", 1},
+		{"return 0 && 2;", 0},
+		{"return 0 || 3;", 1},
+		{"return 0 || 0;", 0},
+	}
+	for _, tc := range cases {
+		if got := eval(t, tc.src); got.Num != tc.want || got.IsStr {
+			t.Errorf("%q = %v, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestVariablesAndControlFlow(t *testing.T) {
+	got := eval(t, `
+		var sum = 0;
+		var i = 1;
+		while (i <= 10) {
+			if (i % 2 == 0) { sum = sum + i; }
+			i = i + 1;
+		}
+		return sum;
+	`)
+	if got.Num != 30 {
+		t.Fatalf("sum = %d, want 30", got.Num)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+		var x = %s;
+		if (x < 10) { return 1; }
+		else if (x < 20) { return 2; }
+		else { return 3; }
+	`
+	for _, tc := range []struct {
+		x    string
+		want int32
+	}{{"5", 1}, {"15", 2}, {"25", 3}} {
+		got := eval(t, strings.Replace(src, "%s", tc.x, 1))
+		if got.Num != tc.want {
+			t.Errorf("x=%s: got %d, want %d", tc.x, got.Num, tc.want)
+		}
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	got := eval(t, `
+		var sum = 0;
+		var i = 0;
+		while (i < 100) {
+			i = i + 1;
+			if (i % 2 == 1) { continue; }
+			if (i > 10) { break; }
+			sum = sum + i;
+		}
+		return sum; // 2+4+6+8+10
+	`)
+	if got.Num != 30 {
+		t.Fatalf("sum = %d, want 30", got.Num)
+	}
+	// Nested loops: break only exits the inner one.
+	got = eval(t, `
+		var total = 0;
+		var i = 0;
+		while (i < 3) {
+			var j = 0;
+			while (true) {
+				j = j + 1;
+				if (j >= 4) { break; }
+			}
+			total = total + j;
+			i = i + 1;
+		}
+		return total;
+	`)
+	if got.Num != 12 {
+		t.Fatalf("total = %d, want 12", got.Num)
+	}
+	// Outside a loop: compile error.
+	if _, err := Compile(`break;`, nil); err == nil {
+		t.Fatal("break outside a loop compiled")
+	}
+	if _, err := Compile(`continue;`, nil); err == nil {
+		t.Fatal("continue outside a loop compiled")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	got := eval(t, `
+		var greeting = "hello" + " " + "world";
+		if (greeting == "hello world") { return 1; }
+		return 0;
+	`)
+	if got.Num != 1 {
+		t.Fatal("string concat/compare failed")
+	}
+}
+
+func TestHostFunctions(t *testing.T) {
+	var lights []int32
+	prog, err := Compile(`
+		var i = 0;
+		while (i < 3) {
+			led(1);
+			led(0);
+			i = i + 1;
+		}
+		return count();
+	`, []string{"led", "count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(prog, []HostFn{
+		func(args []Value) (Value, error) {
+			lights = append(lights, args[0].Num)
+			return N(0), nil
+		},
+		func(args []Value) (Value, error) { return N(int32(len(lights))), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Num != 6 || len(lights) != 6 {
+		t.Fatalf("lights = %v, ret = %d", lights, got.Num)
+	}
+	if lights[0] != 1 || lights[1] != 0 {
+		t.Fatalf("blink order = %v", lights)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`return undeclared;`,
+		`x = 1;`,
+		`var x = 1; var x = 2;`,
+		`ghost();`,
+		`function f() {}`,
+		`return "unterminated;`,
+		`if (1 { return 1; }`,
+		`while (1) { return 1;`,
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, nil); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	if _, err := Compile(`return 1 / 0;`, nil); err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := Compile(`return 1 / 0;`, nil)
+	vm, _ := NewVM(prog, nil)
+	if _, err := vm.Run(); err != ErrDivideByZero {
+		t.Fatalf("1/0: %v", err)
+	}
+
+	prog, _ = Compile(`while (1) { }`, nil)
+	vm, _ = NewVM(prog, nil)
+	vm.MaxSteps = 10_000
+	if _, err := vm.Run(); err != ErrStepLimit {
+		t.Fatalf("infinite loop: %v", err)
+	}
+}
+
+func TestOnStepCharges(t *testing.T) {
+	prog, _ := Compile(`var i = 0; while (i < 5) { i = i + 1; }`, nil)
+	vm, _ := NewVM(prog, nil)
+	steps := 0
+	vm.OnStep = func() { steps++ }
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if steps == 0 || uint64(steps) != vm.Steps() {
+		t.Fatalf("steps = %d, vm.Steps = %d", steps, vm.Steps())
+	}
+}
+
+// TestPropCompilerTotal checks the compiler never panics on arbitrary
+// input — it must reject or accept, not crash.
+func TestPropCompilerTotal(t *testing.T) {
+	f := func(src string) bool {
+		prog, err := Compile(src, []string{"f", "g"})
+		if err != nil {
+			return true
+		}
+		vm, err := NewVM(prog, []HostFn{
+			func([]Value) (Value, error) { return N(1), nil },
+			func([]Value) (Value, error) { return S("x"), nil },
+		})
+		if err != nil {
+			return true
+		}
+		vm.MaxSteps = 10_000
+		_, _ = vm.Run()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantPoolDeduplication(t *testing.T) {
+	prog, err := Compile(`var a = 7; var b = 7; var c = 7; return a + b + c;`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, v := range prog.Consts {
+		if !v.IsStr && v.Num == 7 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("constant 7 appears %d times in the pool", count)
+	}
+}

@@ -1,0 +1,177 @@
+// Package jsvm is a small JavaScript-like scripting engine: a compiler
+// from a JS subset to compact bytecode plus a stack-based virtual machine.
+// It stands in for the Microvium interpreter the paper runs as a shared
+// library (§5.2): application logic is expressed as a script whose only
+// access to the device is through host functions the embedding
+// compartment registers, and every VM step charges simulated cycles.
+package jsvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int8
+
+const (
+	tkEOF tokKind = iota
+	tkNumber
+	tkString
+	tkIdent
+	tkKeyword
+	tkPunct // ( ) { } ; ,
+	tkOp
+)
+
+var keywords = map[string]bool{
+	"var": true, "if": true, "else": true, "while": true,
+	"return": true, "true": true, "false": true, "function": true,
+	"break": true, "continue": true,
+}
+
+type tok struct {
+	kind tokKind
+	text string
+	num  int32
+	line int
+}
+
+type jsLexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func (l *jsLexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *jsLexer) at(i int) rune {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *jsLexer) advance() rune {
+	r := l.peek()
+	l.pos++
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+func (l *jsLexer) skip() {
+	for {
+		for unicode.IsSpace(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '/' && l.at(1) == '/' {
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+			continue
+		}
+		if l.peek() == '/' && l.at(1) == '*' {
+			l.advance()
+			l.advance()
+			for !(l.peek() == '*' && l.at(1) == '/') && l.peek() != 0 {
+				l.advance()
+			}
+			l.advance()
+			l.advance()
+			continue
+		}
+		return
+	}
+}
+
+func (l *jsLexer) next() (tok, error) {
+	l.skip()
+	line := l.line
+	r := l.peek()
+	switch {
+	case r == 0:
+		return tok{kind: tkEOF, line: line}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_' {
+			sb.WriteRune(l.advance())
+		}
+		s := sb.String()
+		if keywords[s] {
+			return tok{kind: tkKeyword, text: s, line: line}, nil
+		}
+		return tok{kind: tkIdent, text: s, line: line}, nil
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		for unicode.IsDigit(l.peek()) {
+			sb.WriteRune(l.advance())
+		}
+		n, err := strconv.ParseInt(sb.String(), 10, 32)
+		if err != nil {
+			return tok{}, fmt.Errorf("line %d: bad number %q", line, sb.String())
+		}
+		return tok{kind: tkNumber, num: int32(n), line: line}, nil
+	case r == '"' || r == '\'':
+		quote := l.advance()
+		var sb strings.Builder
+		for {
+			c := l.advance()
+			if c == 0 {
+				return tok{}, fmt.Errorf("line %d: unterminated string", line)
+			}
+			if c == quote {
+				break
+			}
+			if c == '\\' {
+				c = l.advance()
+				switch c {
+				case 'n':
+					c = '\n'
+				case 't':
+					c = '\t'
+				}
+			}
+			sb.WriteRune(c)
+		}
+		return tok{kind: tkString, text: sb.String(), line: line}, nil
+	case strings.ContainsRune("(){};,", r):
+		l.advance()
+		return tok{kind: tkPunct, text: string(r), line: line}, nil
+	default:
+		two := string(r) + string(l.at(1))
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||":
+			l.advance()
+			l.advance()
+			return tok{kind: tkOp, text: two, line: line}, nil
+		}
+		if strings.ContainsRune("<>!+-*/%=", r) {
+			l.advance()
+			return tok{kind: tkOp, text: string(r), line: line}, nil
+		}
+		return tok{}, fmt.Errorf("line %d: unexpected %q", line, string(r))
+	}
+}
+
+func lexScript(src string) ([]tok, error) {
+	l := &jsLexer{src: []rune(src), line: 1}
+	var out []tok
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tkEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package jsvm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HostFn is a host function callable from scripts. Implementations in a
+// compartment typically close over the api.Context and forward to
+// compartment calls (mqtt_connect, led, sleep, ...).
+type HostFn func(args []Value) (Value, error)
+
+// Interpreter errors.
+var (
+	ErrDivideByZero = errors.New("jsvm: division by zero")
+	ErrStepLimit    = errors.New("jsvm: step limit exceeded")
+	ErrBadProgram   = errors.New("jsvm: malformed bytecode")
+)
+
+// VM executes one compiled program.
+type VM struct {
+	prog  *Program
+	hosts []HostFn
+	vars  []Value
+	stack []Value
+	pc    int
+	steps uint64
+
+	// MaxSteps bounds execution (0 = no limit).
+	MaxSteps uint64
+	// OnStep, if set, runs before every instruction; embedders charge
+	// simulated cycles here.
+	OnStep func()
+}
+
+// NewVM binds a program to its host functions, which must match the
+// program's HostNames positionally.
+func NewVM(prog *Program, hosts []HostFn) (*VM, error) {
+	if len(hosts) != len(prog.HostNames) {
+		return nil, fmt.Errorf("jsvm: program imports %d host functions, got %d",
+			len(prog.HostNames), len(hosts))
+	}
+	return &VM{
+		prog:  prog,
+		hosts: hosts,
+		vars:  make([]Value, prog.NumVars),
+	}, nil
+}
+
+// Steps reports executed instruction count.
+func (vm *VM) Steps() uint64 { return vm.steps }
+
+func (vm *VM) push(v Value) { vm.stack = append(vm.stack, v) }
+
+func (vm *VM) pop() (Value, error) {
+	if len(vm.stack) == 0 {
+		return Value{}, ErrBadProgram
+	}
+	v := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return v, nil
+}
+
+// Run executes the program to completion and returns the script's value
+// (its return statement, or 0 when it runs off the end).
+func (vm *VM) Run() (Value, error) {
+	code := vm.prog.Code
+	for {
+		if vm.pc < 0 || vm.pc >= len(code) {
+			return Value{}, ErrBadProgram
+		}
+		if vm.MaxSteps > 0 && vm.steps >= vm.MaxSteps {
+			return Value{}, ErrStepLimit
+		}
+		vm.steps++
+		if vm.OnStep != nil {
+			vm.OnStep()
+		}
+		in := code[vm.pc]
+		op := int(in & 0xff)
+		operand := int(in >> 8)
+		vm.pc++
+		switch op {
+		case opConst:
+			if operand >= len(vm.prog.Consts) {
+				return Value{}, ErrBadProgram
+			}
+			vm.push(vm.prog.Consts[operand])
+		case opLoad:
+			if operand >= len(vm.vars) {
+				return Value{}, ErrBadProgram
+			}
+			vm.push(vm.vars[operand])
+		case opStore:
+			v, err := vm.pop()
+			if err != nil {
+				return Value{}, err
+			}
+			if operand >= len(vm.vars) {
+				return Value{}, ErrBadProgram
+			}
+			vm.vars[operand] = v
+		case opPop:
+			if _, err := vm.pop(); err != nil {
+				return Value{}, err
+			}
+		case opAdd, opSub, opMul, opDiv, opMod,
+			opEq, opNe, opLt, opLe, opGt, opGe:
+			if err := vm.binary(op); err != nil {
+				return Value{}, err
+			}
+		case opNot:
+			v, err := vm.pop()
+			if err != nil {
+				return Value{}, err
+			}
+			if v.Truthy() {
+				vm.push(N(0))
+			} else {
+				vm.push(N(1))
+			}
+		case opNeg:
+			v, err := vm.pop()
+			if err != nil {
+				return Value{}, err
+			}
+			vm.push(N(-v.Num))
+		case opJmp:
+			vm.pc = operand
+		case opJz:
+			v, err := vm.pop()
+			if err != nil {
+				return Value{}, err
+			}
+			if !v.Truthy() {
+				vm.pc = operand
+			}
+		case opCall:
+			id, argc := operand>>8, operand&0xff
+			if id >= len(vm.hosts) {
+				return Value{}, ErrBadProgram
+			}
+			args := make([]Value, argc)
+			for i := argc - 1; i >= 0; i-- {
+				v, err := vm.pop()
+				if err != nil {
+					return Value{}, err
+				}
+				args[i] = v
+			}
+			ret, err := vm.hosts[id](args)
+			if err != nil {
+				return Value{}, fmt.Errorf("jsvm: host %s: %w", vm.prog.HostNames[id], err)
+			}
+			vm.push(ret)
+		case opRet:
+			return vm.pop()
+		case opHalt:
+			return N(0), nil
+		default:
+			return Value{}, ErrBadProgram
+		}
+	}
+}
+
+// binary pops two operands and applies an arithmetic or comparison op.
+// Strings support + (concatenation) and equality comparisons.
+func (vm *VM) binary(op int) error {
+	b, err := vm.pop()
+	if err != nil {
+		return err
+	}
+	a, err := vm.pop()
+	if err != nil {
+		return err
+	}
+	boolVal := func(x bool) Value {
+		if x {
+			return N(1)
+		}
+		return N(0)
+	}
+	if a.IsStr || b.IsStr {
+		switch op {
+		case opAdd:
+			vm.push(S(a.String() + b.String()))
+			return nil
+		case opEq:
+			vm.push(boolVal(a.IsStr == b.IsStr && a.Str == b.Str && a.Num == b.Num))
+			return nil
+		case opNe:
+			vm.push(boolVal(!(a.IsStr == b.IsStr && a.Str == b.Str && a.Num == b.Num)))
+			return nil
+		default:
+			return fmt.Errorf("jsvm: operator not defined on strings")
+		}
+	}
+	x, y := a.Num, b.Num
+	switch op {
+	case opAdd:
+		vm.push(N(x + y))
+	case opSub:
+		vm.push(N(x - y))
+	case opMul:
+		vm.push(N(x * y))
+	case opDiv:
+		if y == 0 {
+			return ErrDivideByZero
+		}
+		vm.push(N(x / y))
+	case opMod:
+		if y == 0 {
+			return ErrDivideByZero
+		}
+		vm.push(N(x % y))
+	case opEq:
+		vm.push(boolVal(x == y))
+	case opNe:
+		vm.push(boolVal(x != y))
+	case opLt:
+		vm.push(boolVal(x < y))
+	case opLe:
+		vm.push(boolVal(x <= y))
+	case opGt:
+		vm.push(boolVal(x > y))
+	case opGe:
+		vm.push(boolVal(x >= y))
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package libs
+
+import (
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+)
+
+// Console is the Input/Output compartment of Fig. 5: the one place that
+// holds the UART's MMIO capability. Everything else prints by compartment
+// call, so "who can write to the console" is a single line in the audit
+// report.
+const Console = "console"
+
+// Console entry names.
+const (
+	FnConsoleWrite   = "console_write"
+	FnConsoleWriteLn = "console_write_line"
+)
+
+// AddConsoleTo registers the console compartment in an image.
+func AddConsoleTo(img *firmware.Image) {
+	img.AddCompartment(&firmware.Compartment{
+		Name: Console, CodeSize: 600, DataSize: 16,
+		Imports: []firmware.Import{{Kind: firmware.ImportMMIO, Target: firmware.DeviceUART}},
+		Exports: []*firmware.Export{
+			{Name: FnConsoleWrite, MinStack: 256, Entry: consoleWrite},
+			{Name: FnConsoleWriteLn, MinStack: 256, Entry: consoleWriteLine},
+		},
+	})
+}
+
+// ConsoleImports returns the imports a compartment needs to print.
+func ConsoleImports() []firmware.Import {
+	return []firmware.Import{
+		{Kind: firmware.ImportCall, Target: Console, Entry: FnConsoleWrite},
+		{Kind: firmware.ImportCall, Target: Console, Entry: FnConsoleWriteLn},
+	}
+}
+
+func consoleEmit(ctx api.Context, args []api.Value, newline bool) []api.Value {
+	if len(args) < 1 || !args[0].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	buf := args[0].Cap
+	n := buf.Length()
+	if !CheckPointer(ctx, buf, cap.PermLoad, n) || n > 512 {
+		return api.EV(api.ErrInvalid)
+	}
+	uart := ctx.MMIO(firmware.DeviceUART)
+	data := ctx.LoadBytes(buf.WithAddress(buf.Base()), n)
+	for _, b := range data {
+		ctx.Store32(uart.WithAddress(hw.UARTBase+hw.UARTData), uint32(b))
+	}
+	if newline {
+		ctx.Store32(uart.WithAddress(hw.UARTBase+hw.UARTData), '\n')
+	}
+	return api.EV(api.OK)
+}
+
+// consoleWrite(buf) prints the buffer.
+func consoleWrite(ctx api.Context, args []api.Value) []api.Value {
+	return consoleEmit(ctx, args, false)
+}
+
+// consoleWriteLine(buf) prints the buffer plus a newline.
+func consoleWriteLine(ctx api.Context, args []api.Value) []api.Value {
+	return consoleEmit(ctx, args, true)
+}
+
+// Print is the caller-side helper: it stages s on the stack and calls the
+// console compartment.
+func Print(ctx api.Context, s string) api.Errno {
+	buf := ctx.StackAlloc(uint32(len(s)))
+	ctx.StoreBytes(buf, []byte(s))
+	view, err := buf.SetBounds(uint32(len(s)))
+	if err != nil {
+		return api.ErrInvalid
+	}
+	ro, _ := ReadOnly(ctx, view)
+	rets, callErr := ctx.Call(Console, FnConsoleWriteLn, api.C(ro))
+	if callErr != nil {
+		return api.ErrUnwound
+	}
+	return api.ErrnoOf(rets)
+}

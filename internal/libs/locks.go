@@ -1,0 +1,170 @@
+// Package libs provides the RTOS's shared libraries: futex-based locks,
+// message queues, and the interface-hardening helpers (§3.2.4, §3.2.5).
+//
+// A shared library does not define a security context: its code executes
+// in the caller's compartment, with the caller's rights, which is why lock
+// state lives in a futex word the *caller* supplies (typically a private
+// compartment global). The scheduler can refuse to wake a waiter (it is
+// trusted for availability) but cannot forge the lock word to make two
+// threads both believe they hold the lock.
+package libs
+
+import (
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/sched"
+)
+
+// LocksLib is the library name for the lock functions.
+const LocksLib = "locks"
+
+// Lock function names.
+const (
+	FnMutexLock    = "mutex_lock"
+	FnMutexUnlock  = "mutex_unlock"
+	FnTicketLock   = "ticket_lock"
+	FnTicketUnlock = "ticket_unlock"
+)
+
+// Mutex futex-word states.
+const (
+	mutexUnlocked  = 0
+	mutexLocked    = 1
+	mutexContended = 2
+)
+
+// AddLocksTo registers the locks shared library in an image. Its
+// functions are annotated with the interrupts-disabled posture: the
+// load/modify/store on the lock word is atomic on the single core, which
+// is exactly the structured interrupt-control programming model of §2.1.
+func AddLocksTo(img *firmware.Image) {
+	img.AddLibrary(&firmware.Library{
+		Name:     LocksLib,
+		CodeSize: 420,
+		Funcs: []*firmware.Export{
+			{Name: FnMutexLock, Posture: firmware.PostureDisabled, Entry: mutexLock},
+			{Name: FnMutexUnlock, Posture: firmware.PostureDisabled, Entry: mutexUnlock},
+			{Name: FnTicketLock, Posture: firmware.PostureDisabled, Entry: ticketLock},
+			{Name: FnTicketUnlock, Posture: firmware.PostureDisabled, Entry: ticketUnlock},
+		},
+	})
+}
+
+// LockImports returns the imports a compartment needs to use the locks
+// library (the library itself plus the futex services it builds on).
+func LockImports() []firmware.Import {
+	return append([]firmware.Import{
+		{Kind: firmware.ImportLib, Target: LocksLib, Entry: FnMutexLock},
+		{Kind: firmware.ImportLib, Target: LocksLib, Entry: FnMutexUnlock},
+		{Kind: firmware.ImportLib, Target: LocksLib, Entry: FnTicketLock},
+		{Kind: firmware.ImportLib, Target: LocksLib, Entry: FnTicketUnlock},
+	}, sched.Imports()...)
+}
+
+// mutexLock(word) acquires a futex mutex. While the posture defers
+// interrupts, the load-check-store sequence cannot be preempted; blocking
+// in futex_wait parks the thread and naturally re-enables scheduling.
+func mutexLock(ctx api.Context, args []api.Value) []api.Value {
+	if len(args) < 1 || !args[0].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	word := args[0].Cap
+	// After any contention we acquire in the "contended" state so the
+	// eventual unlock wakes the remaining waiters.
+	acquireAs := uint32(mutexLocked)
+	for {
+		v := ctx.Load32(word)
+		if v == mutexUnlocked {
+			ctx.Store32(word, acquireAs)
+			return api.EV(api.OK)
+		}
+		acquireAs = mutexContended
+		if v == mutexLocked {
+			ctx.Store32(word, mutexContended)
+			v = mutexContended
+		}
+		rets, err := ctx.Call(sched.Name, sched.EntryFutexWait,
+			api.C(word), api.W(v), api.W(0))
+		if err != nil {
+			return api.EV(api.ErrUnwound)
+		}
+		if e := api.ErrnoOf(rets); e != api.OK {
+			return api.EV(e)
+		}
+	}
+}
+
+// mutexUnlock(word) releases a futex mutex and wakes one waiter if the
+// lock was contended.
+func mutexUnlock(ctx api.Context, args []api.Value) []api.Value {
+	if len(args) < 1 || !args[0].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	word := args[0].Cap
+	v := ctx.Load32(word)
+	ctx.Store32(word, mutexUnlocked)
+	if v == mutexContended {
+		if _, err := ctx.Call(sched.Name, sched.EntryFutexWake, api.C(word), api.W(1)); err != nil {
+			return api.EV(api.ErrUnwound)
+		}
+	}
+	return api.EV(api.OK)
+}
+
+// ticketLock(word) implements a fair FIFO lock in one futex word: the low
+// half is the now-serving counter, the high half the next ticket.
+func ticketLock(ctx api.Context, args []api.Value) []api.Value {
+	if len(args) < 1 || !args[0].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	word := args[0].Cap
+	v := ctx.Load32(word)
+	ticket := v >> 16
+	ctx.Store32(word, (v&0xffff)|((ticket+1)&0xffff)<<16)
+	for {
+		v = ctx.Load32(word)
+		if v&0xffff == ticket {
+			return api.EV(api.OK)
+		}
+		rets, err := ctx.Call(sched.Name, sched.EntryFutexWait,
+			api.C(word), api.W(v), api.W(0))
+		if err != nil {
+			return api.EV(api.ErrUnwound)
+		}
+		if e := api.ErrnoOf(rets); e != api.OK {
+			return api.EV(e)
+		}
+	}
+}
+
+// ticketUnlock(word) passes the lock to the next ticket holder.
+func ticketUnlock(ctx api.Context, args []api.Value) []api.Value {
+	if len(args) < 1 || !args[0].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	word := args[0].Cap
+	v := ctx.Load32(word)
+	ctx.Store32(word, (v&^0xffff)|((v+1)&0xffff))
+	if _, err := ctx.Call(sched.Name, sched.EntryFutexWake, api.C(word), api.W(^uint32(0))); err != nil {
+		return api.EV(api.ErrUnwound)
+	}
+	return api.EV(api.OK)
+}
+
+// Mutex is the caller-side convenience wrapper over the locks library.
+type Mutex struct {
+	// Word is the futex word holding the lock state, typically a private
+	// compartment global.
+	Word cap.Capability
+}
+
+// Lock acquires the mutex via the locks library.
+func (m Mutex) Lock(ctx api.Context) api.Errno {
+	return api.ErrnoOf(ctx.LibCall(LocksLib, FnMutexLock, api.C(m.Word)))
+}
+
+// Unlock releases the mutex via the locks library.
+func (m Mutex) Unlock(ctx api.Context) api.Errno {
+	return api.ErrnoOf(ctx.LibCall(LocksLib, FnMutexUnlock, api.C(m.Word)))
+}

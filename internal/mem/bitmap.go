@@ -1,0 +1,24 @@
+package mem
+
+// bitmap is a dense bit set indexed by granule number.
+type bitmap []uint64
+
+func newBitmap(bits uint32) bitmap { return make(bitmap, (bits+63)/64) }
+
+func (b bitmap) get(i uint32) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitmap) set(i uint32)      { b[i/64] |= 1 << (i % 64) }
+func (b bitmap) clear(i uint32)    { b[i/64] &^= 1 << (i % 64) }
+
+// setRange sets bits [first, last].
+func (b bitmap) setRange(first, last uint32) {
+	for i := first; i <= last; i++ {
+		b.set(i)
+	}
+}
+
+// clearRange clears bits [first, last].
+func (b bitmap) clearRange(first, last uint32) {
+	for i := first; i <= last; i++ {
+		b.clear(i)
+	}
+}

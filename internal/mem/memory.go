@@ -1,0 +1,230 @@
+// Package mem implements the CHERIoT platform's tagged SRAM.
+//
+// Memory is byte-addressable data storage plus, for every 8-byte granule, a
+// non-addressable tag bit telling whether the granule holds a valid
+// capability, and a revocation bit used by the temporal-safety machinery
+// (§2.1). All accesses are authorized by a capability; the load path
+// implements the hardware load filter (clearing tags of capabilities whose
+// base points into revoked memory) and CHERIoT's deep-attenuation rules.
+package mem
+
+import (
+	"fmt"
+
+	"github.com/cheriot-go/cheriot/internal/cap"
+)
+
+// Granule is the unit of capability storage and revocation tracking.
+const Granule = cap.GranuleSize
+
+// Memory is the simulated SRAM plus its tag and revocation-bit sidecars,
+// and any memory-mapped devices above the SRAM range.
+type Memory struct {
+	data    []byte
+	caps    map[uint32]cap.Capability // granule index -> stored capability
+	tags    bitmap                    // granule index -> tag bit
+	revoked bitmap                    // granule index -> revocation bit
+	windows []window                  // MMIO windows, above len(data)
+}
+
+// New returns zeroed SRAM of the given size, which must be a multiple of
+// the granule size.
+func New(size uint32) *Memory {
+	if size%Granule != 0 {
+		panic(fmt.Sprintf("mem: size %d not a multiple of %d", size, Granule))
+	}
+	n := size / Granule
+	return &Memory{
+		data:    make([]byte, size),
+		caps:    make(map[uint32]cap.Capability),
+		tags:    newBitmap(n),
+		revoked: newBitmap(n),
+	}
+}
+
+// Size returns the SRAM size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+
+// Granules returns the number of granules in SRAM.
+func (m *Memory) Granules() uint32 { return uint32(len(m.data)) / Granule }
+
+func (m *Memory) granule(addr uint32) uint32 { return addr / Granule }
+
+// inSRAM reports whether [addr, addr+n) lies entirely in SRAM.
+func (m *Memory) inSRAM(addr, n uint32) bool {
+	return uint64(addr)+uint64(n) <= uint64(len(m.data))
+}
+
+// clearTags drops capability tags for every granule overlapping
+// [addr, addr+n). Any data write does this: partially overwriting a
+// capability destroys it.
+func (m *Memory) clearTags(addr, n uint32) {
+	if n == 0 {
+		return
+	}
+	first := m.granule(addr)
+	last := m.granule(addr + n - 1)
+	for g := first; g <= last; g++ {
+		if m.tags.get(g) {
+			m.tags.clear(g)
+			delete(m.caps, g)
+		}
+	}
+}
+
+// LoadBytes reads n bytes at the authority's cursor into a fresh slice.
+func (m *Memory) LoadBytes(auth cap.Capability, n uint32) ([]byte, error) {
+	if err := auth.CheckAccess(cap.PermLoad, n); err != nil {
+		return nil, err
+	}
+	addr := auth.Address()
+	if !m.inSRAM(addr, n) {
+		return nil, cap.ErrBoundsViolation
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:addr+n])
+	return out, nil
+}
+
+// StoreBytes writes b at the authority's cursor, clearing any tags it
+// overlaps.
+func (m *Memory) StoreBytes(auth cap.Capability, b []byte) error {
+	n := uint32(len(b))
+	if err := auth.CheckAccess(cap.PermStore, n); err != nil {
+		return err
+	}
+	addr := auth.Address()
+	if !m.inSRAM(addr, n) {
+		return cap.ErrBoundsViolation
+	}
+	copy(m.data[addr:addr+n], b)
+	m.clearTags(addr, n)
+	return nil
+}
+
+// Load32 reads a little-endian 32-bit word at the authority's cursor. It
+// is the access primitive for futex words and device registers; addresses
+// in an MMIO window are routed to the device.
+func (m *Memory) Load32(auth cap.Capability) (uint32, error) {
+	if err := auth.CheckAccess(cap.PermLoad, 4); err != nil {
+		return 0, err
+	}
+	addr := auth.Address()
+	if w := m.findWindow(addr, 4); w != nil {
+		return w.dev.LoadWord(addr - w.base), nil
+	}
+	if !m.inSRAM(addr, 4) {
+		return 0, cap.ErrBoundsViolation
+	}
+	return le32(m.data[addr:]), nil
+}
+
+// Store32 writes a little-endian 32-bit word at the authority's cursor.
+func (m *Memory) Store32(auth cap.Capability, v uint32) error {
+	if err := auth.CheckAccess(cap.PermStore, 4); err != nil {
+		return err
+	}
+	addr := auth.Address()
+	if w := m.findWindow(addr, 4); w != nil {
+		w.dev.StoreWord(addr-w.base, v)
+		return nil
+	}
+	if !m.inSRAM(addr, 4) {
+		return cap.ErrBoundsViolation
+	}
+	put32(m.data[addr:], v)
+	m.clearTags(addr, 4)
+	return nil
+}
+
+// LoadCap loads the capability stored at the authority's cursor, which must
+// be granule-aligned. The load path applies, in order: the MC check and
+// deep attenuation (cap.Attenuate), then the load filter — if the
+// revocation bit of the *base* of the loaded capability is set, the tag is
+// cleared (§2.1). An authority carrying cap.PermUser0 (the allocator's heap
+// root) bypasses the load filter, modelling the allocator's privileged
+// access to freed memory (§3.1.3).
+func (m *Memory) LoadCap(auth cap.Capability) (cap.Capability, error) {
+	if err := auth.CheckAccess(cap.PermLoad, Granule); err != nil {
+		return cap.Null(), err
+	}
+	addr := auth.Address()
+	if addr%Granule != 0 {
+		return cap.Null(), cap.ErrBoundsViolation
+	}
+	if !m.inSRAM(addr, Granule) {
+		return cap.Null(), cap.ErrBoundsViolation
+	}
+	g := m.granule(addr)
+	var loaded cap.Capability
+	if m.tags.get(g) {
+		loaded = m.caps[g]
+	} else {
+		// Untagged data read as a capability: yields an untagged value
+		// whose cursor is the stored word.
+		loaded = cap.New(0, 0, le32(m.data[addr:]), 0).ClearTag()
+	}
+	loaded = cap.Attenuate(loaded, auth)
+	if loaded.Valid() && m.isRevoked(loaded.Base()) && !auth.Perms().Has(cap.PermUser0) {
+		loaded = loaded.ClearTag()
+	}
+	return loaded, nil
+}
+
+// StoreCap stores a capability at the authority's cursor, which must be
+// granule-aligned. Storing a local capability requires PermStoreLocal on
+// the authority (§2.1). The raw bytes of the granule are set to the
+// capability's cursor so that subsequent data reads see the address.
+func (m *Memory) StoreCap(auth cap.Capability, value cap.Capability) error {
+	if err := cap.CheckStoreCap(value, auth); err != nil {
+		return err
+	}
+	addr := auth.Address()
+	if addr%Granule != 0 {
+		return cap.ErrBoundsViolation
+	}
+	if !m.inSRAM(addr, Granule) {
+		return cap.ErrBoundsViolation
+	}
+	g := m.granule(addr)
+	put32(m.data[addr:], value.Address())
+	put32(m.data[addr+4:], 0)
+	if value.Valid() {
+		m.tags.set(g)
+		m.caps[g] = value
+	} else {
+		m.tags.clear(g)
+		delete(m.caps, g)
+	}
+	return nil
+}
+
+// Zero clears n bytes at the authority's cursor, dropping tags. It backs
+// the allocator's free-time erasure and the switcher's stack zeroing.
+func (m *Memory) Zero(auth cap.Capability, n uint32) error {
+	if err := auth.CheckAccess(cap.PermStore, n); err != nil {
+		return err
+	}
+	addr := auth.Address()
+	if !m.inSRAM(addr, n) {
+		return cap.ErrBoundsViolation
+	}
+	clear(m.data[addr : addr+n])
+	m.clearTags(addr, n)
+	return nil
+}
+
+// TagAt reports whether the granule containing addr holds a valid
+// capability. It exists for tests and debugging tools.
+func (m *Memory) TagAt(addr uint32) bool { return m.tags.get(m.granule(addr)) }
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func put32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

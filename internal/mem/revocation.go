@@ -1,0 +1,58 @@
+package mem
+
+// Revocation-bit management. One bit per 8-byte granule of SRAM, stored in
+// a dedicated region in hardware; here a sidecar bitmap. The allocator sets
+// the bits when an object is freed, the load filter consults them on every
+// capability load, and the revoker clears in-memory tags during its sweep.
+
+// Revoke sets the revocation bits for [addr, addr+n). From this moment,
+// loading any capability whose base lies in the range yields an untagged
+// value: use of freed memory traps as soon as free returns (§3.1.3).
+func (m *Memory) Revoke(addr, n uint32) {
+	if n == 0 || !m.inSRAM(addr, n) {
+		return
+	}
+	m.revoked.setRange(m.granule(addr), m.granule(addr+n-1))
+}
+
+// ClearRevoked clears the revocation bits for [addr, addr+n). The
+// allocator calls it when taking an object out of quarantine after a full
+// revocation sweep has completed.
+func (m *Memory) ClearRevoked(addr, n uint32) {
+	if n == 0 || !m.inSRAM(addr, n) {
+		return
+	}
+	m.revoked.clearRange(m.granule(addr), m.granule(addr+n-1))
+}
+
+func (m *Memory) isRevoked(addr uint32) bool {
+	if !m.inSRAM(addr, 1) {
+		return false
+	}
+	return m.revoked.get(m.granule(addr))
+}
+
+// IsRevoked reports whether the granule containing addr is revoked. It is
+// exported for the revoker and for tests.
+func (m *Memory) IsRevoked(addr uint32) bool { return m.isRevoked(addr) }
+
+// SweepGranules runs the revoker's work over granules [start, start+count):
+// every tagged granule whose stored capability has a revoked base loses its
+// tag. It returns the index one past the last granule visited, for the
+// revoker's resumable sweep pointer.
+func (m *Memory) SweepGranules(start, count uint32) uint32 {
+	end := start + count
+	if max := m.Granules(); end > max {
+		end = max
+	}
+	for g := start; g < end; g++ {
+		if !m.tags.get(g) {
+			continue
+		}
+		if c, ok := m.caps[g]; ok && m.isRevoked(c.Base()) {
+			m.tags.clear(g)
+			delete(m.caps, g)
+		}
+	}
+	return end
+}

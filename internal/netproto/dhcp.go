@@ -1,0 +1,59 @@
+package netproto
+
+// DHCP-lite: the four-step Discover/Offer/Request/Ack dance, enough for a
+// device to come up with no configured address (the Fig. 7 Setup phase's
+// "prepares the network stack (e.g., DHCP, ARP)").
+//
+// Before it has a lease the client sources frames from address 0 and the
+// server answers to the broadcast address, exactly like the real protocol.
+
+// Broadcast is the all-stations address.
+const Broadcast uint32 = 0xffff_ffff
+
+// DHCP ports.
+const (
+	PortDHCPServer = 67
+	PortDHCPClient = 68
+)
+
+// DHCP message operations.
+const (
+	DHCPDiscover = 1
+	DHCPOffer    = 2
+	DHCPRequest  = 3
+	DHCPAck      = 4
+)
+
+// DHCP is one lease-negotiation message.
+type DHCP struct {
+	Op uint8
+	// XID correlates a client's exchange.
+	XID uint32
+	// YourIP is the offered/confirmed lease (Offer/Request/Ack).
+	YourIP uint32
+	// ServerIP identifies the responding server (Offer/Ack).
+	ServerIP uint32
+}
+
+// EncodeDHCP serialises a DHCP message.
+func EncodeDHCP(m DHCP) []byte {
+	b := make([]byte, 13)
+	b[0] = m.Op
+	put32(b[1:], m.XID)
+	put32(b[5:], m.YourIP)
+	put32(b[9:], m.ServerIP)
+	return b
+}
+
+// DecodeDHCP parses a DHCP message.
+func DecodeDHCP(p []byte) (DHCP, error) {
+	if len(p) < 13 {
+		return DHCP{}, ErrBadPacket
+	}
+	return DHCP{
+		Op:       p[0],
+		XID:      le32(p[1:]),
+		YourIP:   le32(p[5:]),
+		ServerIP: le32(p[9:]),
+	}, nil
+}

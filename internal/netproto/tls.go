@@ -1,0 +1,175 @@
+package netproto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+)
+
+// Toy TLS.
+//
+// The paper runs BearSSL; our substitute keeps the *structure* of a TLS
+// deployment — a handshake that derives per-session keys, certificate
+// verification against a pinned root, and encrypted, authenticated
+// records — while replacing the public-key legs with a pre-shared-secret
+// construction (real elliptic-curve math adds nothing to the OS claims
+// being reproduced). Everything uses Go's stdlib crypto.
+//
+// Handshake:
+//
+//	C -> S: ClientHello  { clientRandom[16] }
+//	S -> C: ServerHello  { serverRandom[16], cert, mac }
+//	          mac = HMAC(rootSecret, serverRandom || cert)
+//	both:    sessionKey = SHA256(rootSecret || clientRandom || serverRandom)
+//
+// Records: AES-CTR encrypted, HMAC-SHA256/8 authenticated, length-framed.
+const (
+	RandomBytes  = 16
+	recordMACLen = 8
+)
+
+// ErrBadMAC reports a record or certificate that failed authentication.
+var ErrBadMAC = errors.New("netproto: TLS authentication failed")
+
+// Handshake message types.
+const (
+	TLSClientHello = 1
+	TLSServerHello = 2
+	TLSRecord      = 3
+)
+
+// EncodeClientHello builds the ClientHello message.
+func EncodeClientHello(clientRandom []byte) []byte {
+	b := make([]byte, 1+RandomBytes)
+	b[0] = TLSClientHello
+	copy(b[1:], clientRandom)
+	return b
+}
+
+// DecodeClientHello parses a ClientHello.
+func DecodeClientHello(p []byte) ([]byte, error) {
+	if len(p) < 1+RandomBytes || p[0] != TLSClientHello {
+		return nil, ErrTruncated
+	}
+	return p[1 : 1+RandomBytes], nil
+}
+
+// EncodeServerHello builds the ServerHello carrying the certificate and
+// its MAC under the pinned root secret.
+func EncodeServerHello(rootSecret, serverRandom, cert []byte) []byte {
+	mac := certMAC(rootSecret, serverRandom, cert)
+	b := make([]byte, 1+RandomBytes+1+len(cert)+len(mac))
+	b[0] = TLSServerHello
+	copy(b[1:], serverRandom)
+	b[1+RandomBytes] = byte(len(cert))
+	copy(b[2+RandomBytes:], cert)
+	copy(b[2+RandomBytes+len(cert):], mac)
+	return b
+}
+
+// DecodeServerHello parses and *verifies* a ServerHello against the
+// pinned root secret, returning the server random and certificate.
+func DecodeServerHello(rootSecret, p []byte) (serverRandom, cert []byte, err error) {
+	if len(p) < 2+RandomBytes || p[0] != TLSServerHello {
+		return nil, nil, ErrTruncated
+	}
+	serverRandom = p[1 : 1+RandomBytes]
+	certLen := int(p[1+RandomBytes])
+	rest := p[2+RandomBytes:]
+	if len(rest) < certLen+sha256.Size {
+		return nil, nil, ErrTruncated
+	}
+	cert = rest[:certLen]
+	mac := rest[certLen : certLen+sha256.Size]
+	if !hmac.Equal(mac, certMAC(rootSecret, serverRandom, cert)) {
+		return nil, nil, ErrBadMAC
+	}
+	return serverRandom, cert, nil
+}
+
+func certMAC(rootSecret, serverRandom, cert []byte) []byte {
+	m := hmac.New(sha256.New, rootSecret)
+	m.Write(serverRandom)
+	m.Write(cert)
+	return m.Sum(nil)
+}
+
+// SessionKey derives the shared session key.
+func SessionKey(rootSecret, clientRandom, serverRandom []byte) []byte {
+	h := sha256.New()
+	h.Write(rootSecret)
+	h.Write(clientRandom)
+	h.Write(serverRandom)
+	return h.Sum(nil) // 32 bytes: 16 for AES-128, 16 for the MAC key
+}
+
+// Session is one direction-agnostic record codec. Each side keeps one,
+// with its own send/receive counters for the CTR nonces.
+type Session struct {
+	encKey []byte
+	macKey []byte
+	sendN  uint32
+	recvN  uint32
+}
+
+// NewSession builds a record codec from a derived session key.
+func NewSession(key []byte) *Session {
+	return &Session{encKey: key[:16], macKey: key[16:32]}
+}
+
+// Seal encrypts and authenticates one record.
+func (s *Session) Seal(plaintext []byte) []byte {
+	ct := s.crypt(plaintext, s.sendN)
+	mac := s.recordMAC(ct, s.sendN)
+	s.sendN++
+	b := make([]byte, 1+4+len(ct)+recordMACLen)
+	b[0] = TLSRecord
+	put32(b[1:], uint32(len(ct)))
+	copy(b[5:], ct)
+	copy(b[5+len(ct):], mac[:recordMACLen])
+	return b
+}
+
+// Open verifies and decrypts one record.
+func (s *Session) Open(record []byte) ([]byte, error) {
+	if len(record) < 5+recordMACLen || record[0] != TLSRecord {
+		return nil, ErrTruncated
+	}
+	n := int(le32(record[1:]))
+	if len(record) < 5+n+recordMACLen {
+		return nil, ErrTruncated
+	}
+	ct := record[5 : 5+n]
+	mac := record[5+n : 5+n+recordMACLen]
+	want := s.recordMAC(ct, s.recvN)
+	if !hmac.Equal(mac, want[:recordMACLen]) {
+		return nil, ErrBadMAC
+	}
+	pt := s.crypt(ct, s.recvN)
+	s.recvN++
+	return pt, nil
+}
+
+// crypt applies AES-128-CTR with a per-record nonce.
+func (s *Session) crypt(data []byte, counter uint32) []byte {
+	block, err := aes.NewCipher(s.encKey)
+	if err != nil {
+		panic(err) // key length is fixed; cannot happen
+	}
+	iv := make([]byte, aes.BlockSize)
+	put32(iv, counter)
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, iv).XORKeyStream(out, data)
+	return out
+}
+
+func (s *Session) recordMAC(ct []byte, counter uint32) []byte {
+	m := hmac.New(sha256.New, s.macKey)
+	var c [4]byte
+	put32(c[:], counter)
+	m.Write(c[:])
+	m.Write(ct)
+	return m.Sum(nil)
+}

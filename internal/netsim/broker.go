@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"github.com/cheriot-go/cheriot/internal/netproto"
+)
+
+// Broker is an MQTT broker behind the toy TLS, the stand-in for the
+// private IoT cloud back-end of §5.3.3. Tests and the case study push
+// notifications to subscribers with Publish.
+type Broker struct {
+	host       *ServerHost
+	RootSecret []byte
+	Cert       []byte
+	// serverRandom is fixed per broker for determinism; real randomness
+	// adds nothing under the simulation's threat model.
+	serverRandom []byte
+
+	sessions map[*TCPPeer]*brokerSession
+
+	// Counters for tests.
+	Connects   int
+	Subscribes int
+	Publishes  int
+}
+
+type brokerSession struct {
+	broker *Broker
+	peer   *TCPPeer
+	// tls is nil until the handshake completes.
+	tls    *netproto.Session
+	topics map[string]bool
+}
+
+// NewBroker builds a broker host listening on the MQTT-over-TLS port.
+func NewBroker(ip uint32, rootSecret []byte, cert []byte) (*ServerHost, *Broker) {
+	host := NewServerHost(ip)
+	b := &Broker{
+		host:         host,
+		RootSecret:   rootSecret,
+		Cert:         cert,
+		serverRandom: []byte("broker-hello-rnd"),
+		sessions:     make(map[*TCPPeer]*brokerSession),
+	}
+	host.ListenTCP(netproto.PortMQTT, func(p *TCPPeer) TCPApp {
+		s := &brokerSession{broker: b, peer: p, topics: make(map[string]bool)}
+		b.sessions[p] = s
+		return s
+	})
+	return host, b
+}
+
+// OnData implements TCPApp: handshake first, then MQTT-in-TLS records.
+func (s *brokerSession) OnData(p *TCPPeer, data []byte) {
+	if s.tls == nil {
+		clientRandom, err := netproto.DecodeClientHello(data)
+		if err != nil {
+			p.Reset()
+			return
+		}
+		p.Send(netproto.EncodeServerHello(s.broker.RootSecret, s.broker.serverRandom, s.broker.Cert))
+		key := netproto.SessionKey(s.broker.RootSecret, clientRandom, s.broker.serverRandom)
+		s.tls = netproto.NewSession(key)
+		return
+	}
+	plain, err := s.tls.Open(data)
+	if err != nil {
+		p.Reset()
+		return
+	}
+	pkt, err := netproto.DecodeMQTT(plain)
+	if err != nil {
+		p.Reset()
+		return
+	}
+	switch pkt.Type {
+	case netproto.MQTTConnect:
+		s.broker.Connects++
+		s.reply(netproto.MQTTPacket{Type: netproto.MQTTConnAck})
+	case netproto.MQTTSubscribe:
+		s.broker.Subscribes++
+		s.topics[pkt.Topic] = true
+		s.reply(netproto.MQTTPacket{Type: netproto.MQTTSubAck, Topic: pkt.Topic})
+	case netproto.MQTTPingReq:
+		s.reply(netproto.MQTTPacket{Type: netproto.MQTTPingResp})
+	case netproto.MQTTPublish:
+		// Device-originated publish: fan out to other subscribers.
+		s.broker.Publishes++
+		s.broker.fanOut(pkt, s)
+	}
+}
+
+// OnClose implements TCPApp.
+func (s *brokerSession) OnClose(p *TCPPeer) { delete(s.broker.sessions, p) }
+
+func (s *brokerSession) reply(pkt netproto.MQTTPacket) {
+	s.peer.Send(s.tls.Seal(netproto.EncodeMQTT(pkt)))
+}
+
+func (b *Broker) fanOut(pkt netproto.MQTTPacket, except *brokerSession) {
+	for _, sess := range b.sessions {
+		if sess == except || sess.tls == nil || !sess.topics[pkt.Topic] {
+			continue
+		}
+		sess.reply(netproto.MQTTPacket{Type: netproto.MQTTPublish, Topic: pkt.Topic, Payload: pkt.Payload})
+	}
+}
+
+// Publish pushes a notification to every live subscriber of the topic —
+// the cloud side sending the device an event.
+func (b *Broker) Publish(topic string, payload []byte) int {
+	b.Publishes++
+	n := 0
+	for _, sess := range b.sessions {
+		if sess.tls != nil && sess.topics[topic] {
+			sess.reply(netproto.MQTTPacket{Type: netproto.MQTTPublish, Topic: topic, Payload: payload})
+			n++
+		}
+	}
+	return n
+}
+
+// LiveSessions reports connected (post-handshake) sessions.
+func (b *Broker) LiveSessions() int {
+	n := 0
+	for _, s := range b.sessions {
+		if s.tls != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,198 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/cheriot-go/cheriot/internal/netproto"
+)
+
+// UDPHandler serves one UDP port: it returns the reply payload, or nil
+// for no reply.
+type UDPHandler func(w *World, from netproto.Header, seg netproto.UDP) []byte
+
+// TCPApp is the application side of one accepted TCP connection.
+type TCPApp interface {
+	// OnData handles one inbound segment payload.
+	OnData(p *TCPPeer, data []byte)
+	// OnClose runs when the connection tears down.
+	OnClose(p *TCPPeer)
+}
+
+// TCPAcceptor builds the application for a new inbound connection.
+type TCPAcceptor func(p *TCPPeer) TCPApp
+
+// ServerHost is a remote host serving UDP handlers and TCP listeners,
+// with an ICMP echo responder built in.
+type ServerHost struct {
+	IP   uint32
+	udp  map[uint16]UDPHandler
+	tcp  map[uint16]TCPAcceptor
+	conn map[string]*TCPPeer
+
+	// PingsSent and PingRepliesSeen count echo traffic for tests.
+	PingRepliesSeen int
+}
+
+// NewServerHost returns an empty server host.
+func NewServerHost(ip uint32) *ServerHost {
+	return &ServerHost{
+		IP:   ip,
+		udp:  make(map[uint16]UDPHandler),
+		tcp:  make(map[uint16]TCPAcceptor),
+		conn: make(map[string]*TCPPeer),
+	}
+}
+
+// HandleUDP registers a UDP port handler.
+func (s *ServerHost) HandleUDP(port uint16, h UDPHandler) { s.udp[port] = h }
+
+// ListenTCP registers a TCP listener.
+func (s *ServerHost) ListenTCP(port uint16, a TCPAcceptor) { s.tcp[port] = a }
+
+func connKey(ip uint32, rport, lport uint16) string {
+	return fmt.Sprintf("%08x:%d:%d", ip, rport, lport)
+}
+
+// Receive implements Host.
+func (s *ServerHost) Receive(w *World, h netproto.Header, payload []byte) {
+	switch h.Proto {
+	case netproto.ProtoICMP:
+		if len(payload) >= 1 && payload[0] == netproto.ICMPEchoRequest {
+			w.Reply(h, s.IP, netproto.ProtoICMP,
+				netproto.EncodeICMP(netproto.ICMPEchoReply, payload[1:]))
+		}
+		if len(payload) >= 1 && payload[0] == netproto.ICMPEchoReply {
+			s.PingRepliesSeen++
+		}
+		// Ping the device: hosts originate echo requests in tests via
+		// World.SendToDevice directly.
+	case netproto.ProtoUDP:
+		seg, err := netproto.DecodeUDP(payload)
+		if err != nil {
+			return
+		}
+		if handler := s.udp[seg.DstPort]; handler != nil {
+			if reply := handler(w, h, seg); reply != nil {
+				w.Reply(h, s.IP, netproto.ProtoUDP, netproto.EncodeUDP(netproto.UDP{
+					SrcPort: seg.DstPort, DstPort: seg.SrcPort, Data: reply,
+				}))
+			}
+		}
+	case netproto.ProtoTCP:
+		seg, err := netproto.DecodeTCP(payload)
+		if err != nil {
+			return
+		}
+		s.receiveTCP(w, h, seg)
+	}
+}
+
+func (s *ServerHost) receiveTCP(w *World, h netproto.Header, seg netproto.TCP) {
+	key := connKey(h.Src, seg.SrcPort, seg.DstPort)
+	peer := s.conn[key]
+	switch {
+	case seg.Flags&netproto.TCPSyn != 0 && peer == nil:
+		acceptor := s.tcp[seg.DstPort]
+		if acceptor == nil {
+			// Port closed: refuse.
+			w.Reply(h, s.IP, netproto.ProtoTCP, netproto.EncodeTCP(netproto.TCP{
+				SrcPort: seg.DstPort, DstPort: seg.SrcPort, Flags: netproto.TCPRst,
+			}))
+			return
+		}
+		peer = &TCPPeer{
+			world: w, host: s, key: key,
+			RemoteIP: h.Src, RemotePort: seg.SrcPort, LocalPort: seg.DstPort,
+			recvSeq: seg.Seq + 1,
+		}
+		peer.app = acceptor(peer)
+		s.conn[key] = peer
+		peer.sendFlags(netproto.TCPSyn | netproto.TCPAck)
+	case peer == nil:
+		// Segment for an unknown connection: reset.
+		w.Reply(h, s.IP, netproto.ProtoTCP, netproto.EncodeTCP(netproto.TCP{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort, Flags: netproto.TCPRst,
+		}))
+	case seg.Flags&netproto.TCPRst != 0:
+		peer.teardown()
+	case seg.Flags&netproto.TCPFin != 0:
+		peer.sendFlags(netproto.TCPFin | netproto.TCPAck)
+		peer.teardown()
+	default:
+		if len(seg.Data) > 0 {
+			peer.recvSeq = seg.Seq + uint32(len(seg.Data))
+			peer.app.OnData(peer, seg.Data)
+		}
+	}
+}
+
+// TCPPeer is the server side of one TCP connection.
+type TCPPeer struct {
+	world *World
+	host  *ServerHost
+	key   string
+	app   TCPApp
+
+	RemoteIP   uint32
+	RemotePort uint16
+	LocalPort  uint16
+
+	sendSeq uint32
+	recvSeq uint32
+	closed  bool
+}
+
+func (p *TCPPeer) sendFlags(flags uint8) {
+	p.sendSegment(flags, nil)
+}
+
+func (p *TCPPeer) sendSegment(flags uint8, data []byte) {
+	seg := netproto.TCP{
+		SrcPort: p.LocalPort, DstPort: p.RemotePort,
+		Seq: p.sendSeq, Flags: flags, Data: data,
+	}
+	p.sendSeq += uint32(len(data))
+	if flags&(netproto.TCPSyn|netproto.TCPFin) != 0 {
+		p.sendSeq++
+	}
+	p.world.SendToDevice(netproto.EncodeHeader(netproto.Header{
+		Dst: p.RemoteIP, Src: p.host.IP, Proto: netproto.ProtoTCP,
+	}, netproto.EncodeTCP(seg)))
+}
+
+// Send pushes application data to the device.
+func (p *TCPPeer) Send(data []byte) {
+	if p.closed {
+		return
+	}
+	p.sendSegment(netproto.TCPPsh|netproto.TCPAck, data)
+}
+
+// Close performs an orderly FIN.
+func (p *TCPPeer) Close() {
+	if p.closed {
+		return
+	}
+	p.sendFlags(netproto.TCPFin)
+	p.teardown()
+}
+
+// Reset aborts the connection.
+func (p *TCPPeer) Reset() {
+	if p.closed {
+		return
+	}
+	p.sendFlags(netproto.TCPRst)
+	p.teardown()
+}
+
+func (p *TCPPeer) teardown() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	delete(p.host.conn, p.key)
+	if p.app != nil {
+		p.app.OnClose(p)
+	}
+}

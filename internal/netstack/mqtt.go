@@ -1,0 +1,236 @@
+package netstack
+
+import (
+	"github.com/cheriot-go/cheriot/internal/alloc"
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/libs"
+	"github.com/cheriot-go/cheriot/internal/netproto"
+	"github.com/cheriot-go/cheriot/internal/token"
+)
+
+// MQTT entry names. Table 2: 11 KB code, 28% wrapper, 24 B data — like
+// SNTP, the wrapper exposes higher-level compartment APIs, encapsulating
+// part of what would usually be application code.
+const (
+	FnMQTTConnect   = "mqtt_connect"
+	FnMQTTSubscribe = "mqtt_subscribe"
+	FnMQTTPublish   = "mqtt_publish"
+	FnMQTTWait      = "mqtt_wait"
+)
+
+type mqttState struct {
+	key cap.Capability
+}
+
+// addMQTT registers the MQTT compartment.
+func addMQTT(img *firmware.Image) {
+	img.AddCompartment(&firmware.Compartment{
+		Name: MQTT, CodeSize: 11_000, WrapperCodeSize: 3_080, DataSize: 24,
+		State:   func() interface{} { return &mqttState{} },
+		Imports: append(append(TLSImports(), token.Imports()...), alloc.Imports()...),
+		Exports: []*firmware.Export{
+			{Name: FnMQTTConnect, MinStack: 6144, Entry: mqttConnect},
+			{Name: FnMQTTSubscribe, MinStack: 6144, Entry: mqttSubscribe},
+			{Name: FnMQTTPublish, MinStack: 6144, Entry: mqttPublish},
+			{Name: FnMQTTWait, MinStack: 6144, Entry: mqttWait},
+		},
+	})
+}
+
+// MQTTImports returns the imports for the MQTT compartment.
+func MQTTImports() []firmware.Import {
+	entries := []string{FnMQTTConnect, FnMQTTSubscribe, FnMQTTPublish, FnMQTTWait}
+	out := make([]firmware.Import, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, firmware.Import{Kind: firmware.ImportCall, Target: MQTT, Entry: e})
+	}
+	return out
+}
+
+func mqttKey(ctx api.Context) (cap.Capability, api.Errno) {
+	st := ctx.State().(*mqttState)
+	if !st.key.Valid() {
+		k, errno := token.KeyNew(ctx)
+		if errno != api.OK {
+			return cap.Null(), errno
+		}
+		st.key = k
+	}
+	return st.key, api.OK
+}
+
+// mqttTLS unpacks an MQTT handle: the payload's second granule stores the
+// inner TLS handle.
+func mqttTLS(ctx api.Context, handle cap.Capability) (cap.Capability, api.Errno) {
+	key, errno := mqttKey(ctx)
+	if errno != api.OK {
+		return cap.Null(), errno
+	}
+	payload, errno := token.Unseal(ctx, key, handle)
+	if errno != api.OK {
+		return cap.Null(), api.ErrInvalid
+	}
+	tls := ctx.LoadCap(payload.WithAddress(payload.Base() + 8))
+	if !tls.Valid() {
+		return cap.Null(), api.ErrConnReset
+	}
+	return tls, api.OK
+}
+
+// exchange sends one MQTT packet over TLS and, when wantType is non-zero,
+// waits for a response of that type (skipping ping responses).
+func exchange(ctx api.Context, tls cap.Capability, pkt netproto.MQTTPacket,
+	wantType uint8, timeout uint32) (netproto.MQTTPacket, api.Errno) {
+	out := stage(ctx, netproto.EncodeMQTT(pkt))
+	rets, err := ctx.Call(TLS, FnTLSSend, api.C(tls), api.C(out))
+	if err != nil {
+		return netproto.MQTTPacket{}, api.ErrConnReset
+	}
+	if e := api.ErrnoOf(rets); e != api.OK {
+		return netproto.MQTTPacket{}, e
+	}
+	if wantType == 0 {
+		return netproto.MQTTPacket{}, api.OK
+	}
+	scratch := ctx.StackAlloc(tlsRecordScratch)
+	for tries := 0; tries < 4; tries++ {
+		rets, err := ctx.Call(TLS, FnTLSRecv, api.C(tls), api.C(scratch), api.W(timeout))
+		if err != nil {
+			return netproto.MQTTPacket{}, api.ErrConnReset
+		}
+		if e := api.ErrnoOf(rets); e != api.OK {
+			return netproto.MQTTPacket{}, e
+		}
+		got, derr := netproto.DecodeMQTT(ctx.LoadBytes(scratch.WithAddress(scratch.Base()), rets[1].AsWord()))
+		if derr != nil {
+			return netproto.MQTTPacket{}, api.ErrInvalid
+		}
+		if got.Type == wantType {
+			return got, api.OK
+		}
+	}
+	return netproto.MQTTPacket{}, api.ErrTimeout
+}
+
+// mqttConnect(delegatedAllocCap, ip, port, timeout) -> (errno, handle)
+func mqttConnect(ctx api.Context, args []api.Value) []api.Value {
+	if len(args) < 4 || !args[0].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	quota := args[0].Cap
+	rets, err := ctx.Call(TLS, FnTLSConnect, api.C(quota), args[1], args[2], args[3])
+	if err != nil || api.ErrnoOf(rets) != api.OK {
+		if err != nil {
+			return api.EV(api.ErrConnReset)
+		}
+		return api.EV(api.ErrnoOf(rets))
+	}
+	tls := rets[1]
+	fail := func(e api.Errno) []api.Value {
+		_, _ = ctx.Call(TLS, FnTLSClose, api.C(quota), tls)
+		return api.EV(e)
+	}
+	if _, errno := exchange(ctx, tls.Cap,
+		netproto.MQTTPacket{Type: netproto.MQTTConnect, Topic: "cheriot-device"},
+		netproto.MQTTConnAck, args[3].AsWord()); errno != api.OK {
+		return fail(errno)
+	}
+	key, errno := mqttKey(ctx)
+	if errno != api.OK {
+		return fail(errno)
+	}
+	sobj, errno := alloc.WithCap{Cap: quota}.MallocSealed(ctx, key, 16)
+	if errno != api.OK {
+		return fail(errno)
+	}
+	payload, errno := token.Unseal(ctx, key, sobj)
+	if errno != api.OK {
+		return fail(errno)
+	}
+	ctx.StoreCap(payload.WithAddress(payload.Base()+8), tls.Cap)
+	return []api.Value{api.W(uint32(api.OK)), api.C(sobj)}
+}
+
+// mqttSubscribe(handle, topicBuf, timeout) -> errno
+func mqttSubscribe(ctx api.Context, args []api.Value) []api.Value {
+	if len(args) < 3 || !args[0].IsCap || !args[1].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	topicBuf := args[1].Cap
+	if !libs.CheckPointer(ctx, topicBuf, cap.PermLoad, topicBuf.Length()) || topicBuf.Length() > 128 {
+		return api.EV(api.ErrInvalid)
+	}
+	tls, errno := mqttTLS(ctx, args[0].Cap)
+	if errno != api.OK {
+		return api.EV(errno)
+	}
+	topic := string(ctx.LoadBytes(topicBuf.WithAddress(topicBuf.Base()), topicBuf.Length()))
+	_, errno = exchange(ctx, tls,
+		netproto.MQTTPacket{Type: netproto.MQTTSubscribe, Topic: topic},
+		netproto.MQTTSubAck, args[2].AsWord())
+	return api.EV(errno)
+}
+
+// mqttPublish(handle, topicBuf, payloadBuf) -> errno
+func mqttPublish(ctx api.Context, args []api.Value) []api.Value {
+	if len(args) < 3 || !args[0].IsCap || !args[1].IsCap || !args[2].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	topicBuf, payloadBuf := args[1].Cap, args[2].Cap
+	if !libs.CheckPointer(ctx, topicBuf, cap.PermLoad, topicBuf.Length()) ||
+		!libs.CheckPointer(ctx, payloadBuf, cap.PermLoad, payloadBuf.Length()) ||
+		topicBuf.Length() > 128 || payloadBuf.Length() > 512 {
+		return api.EV(api.ErrInvalid)
+	}
+	tls, errno := mqttTLS(ctx, args[0].Cap)
+	if errno != api.OK {
+		return api.EV(errno)
+	}
+	_, errno = exchange(ctx, tls, netproto.MQTTPacket{
+		Type:    netproto.MQTTPublish,
+		Topic:   string(ctx.LoadBytes(topicBuf.WithAddress(topicBuf.Base()), topicBuf.Length())),
+		Payload: ctx.LoadBytes(payloadBuf.WithAddress(payloadBuf.Base()), payloadBuf.Length()),
+	}, 0, 0)
+	return api.EV(errno)
+}
+
+// mqttWait(handle, payloadOutBuf, timeout) -> (errno, n) blocks until a
+// PUBLISH notification arrives and copies its payload out.
+func mqttWait(ctx api.Context, args []api.Value) []api.Value {
+	if len(args) < 3 || !args[0].IsCap || !args[1].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	out := args[1].Cap
+	if !libs.CheckPointer(ctx, out, cap.PermStore, out.Length()) || out.Length() == 0 {
+		return api.EV(api.ErrInvalid)
+	}
+	tls, errno := mqttTLS(ctx, args[0].Cap)
+	if errno != api.OK {
+		return api.EV(errno)
+	}
+	scratch := ctx.StackAlloc(tlsRecordScratch)
+	for {
+		rets, err := ctx.Call(TLS, FnTLSRecv, api.C(tls), api.C(scratch), args[2])
+		if err != nil {
+			return api.EV(api.ErrConnReset)
+		}
+		if e := api.ErrnoOf(rets); e != api.OK {
+			return api.EV(e)
+		}
+		pkt, derr := netproto.DecodeMQTT(ctx.LoadBytes(scratch.WithAddress(scratch.Base()), rets[1].AsWord()))
+		if derr != nil {
+			return api.EV(api.ErrInvalid)
+		}
+		if pkt.Type != netproto.MQTTPublish {
+			continue // e.g. a stray ping response
+		}
+		n := uint32(len(pkt.Payload))
+		if n > out.Length() {
+			n = out.Length()
+		}
+		ctx.StoreBytes(out.WithAddress(out.Base()), pkt.Payload[:n])
+		return []api.Value{api.W(uint32(api.OK)), api.W(n)}
+	}
+}

@@ -1,0 +1,206 @@
+// Package sched implements the scheduler component of the TCB (§3.1.4).
+//
+// The scheduler is invoked by the switcher to make policy decisions
+// (priority scheduling with round-robin within a priority), and it is an
+// ordinary compartment providing services via compartment calls: futexes
+// (compare-and-wait / wake), a multiwaiter, sleeps, and interrupt futexes.
+// It is trusted only for availability: it can refuse to run threads, but
+// it never sees their register state or stacks.
+package sched
+
+import (
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/switcher"
+)
+
+// DefaultQuantum is the preemption quantum: ~3 ms at 33 MHz.
+const DefaultQuantum = 100_000
+
+// Name is the scheduler's compartment name.
+const Name = "sched"
+
+// Sched is the scheduling policy plus the futex machinery.
+type Sched struct {
+	k       *switcher.Kernel
+	quantum uint64
+
+	ready []readyEntry
+	seq   uint64
+
+	// futexes maps a word address to its wait queue; waiters indexes the
+	// same registrations by thread.
+	futexes map[uint32][]*waiter
+	waiters map[*switcher.Thread]*waiter
+
+	// irqWordAddr is the address of each interrupt futex word inside the
+	// scheduler's globals region.
+	irqWordAddr [hw.IRQCount]uint32
+	irqWord     cap.Capability // RW capability over the word array
+}
+
+type readyEntry struct {
+	t   *switcher.Thread
+	seq uint64
+}
+
+// waiter is one blocked thread's registration. A thread waiting on
+// multiple futexes (multiwaiter) shares a single waiter across queues.
+type waiter struct {
+	t *switcher.Thread
+	// addrs are the futex words the waiter is registered on.
+	addrs []uint32
+	// wokenBy is the address that woke the waiter, or ^0 for none (timeout
+	// or forced wake).
+	wokenBy uint32
+	// forced marks a ForceWake (micro-reboot rewind).
+	forced bool
+	done   bool
+}
+
+// New returns a scheduler with the default quantum. Attach must be called
+// after boot, and AddTo must have registered the compartment in the image.
+func New() *Sched {
+	return &Sched{
+		quantum: DefaultQuantum,
+		futexes: make(map[uint32][]*waiter),
+		waiters: make(map[*switcher.Thread]*waiter),
+	}
+}
+
+// SetQuantum overrides the preemption quantum (cycles).
+func (s *Sched) SetQuantum(q uint64) { s.quantum = q }
+
+// Attach wires the scheduler to the booted kernel and locates its
+// interrupt futex words in its globals region.
+func (s *Sched) Attach(k *switcher.Kernel) {
+	s.k = k
+	k.SetScheduler(s)
+	comp := k.Comp(Name)
+	if comp != nil {
+		g := comp.Globals()
+		for i := 0; i < hw.IRQCount; i++ {
+			s.irqWordAddr[i] = g.Base() + uint32(i)*4
+		}
+		s.irqWord = g
+	}
+}
+
+// Quantum implements switcher.Scheduler.
+func (s *Sched) Quantum() uint64 { return s.quantum }
+
+// Ready implements switcher.Scheduler. Making a thread runnable that
+// outranks the running one requests a reschedule, so priority preemption
+// happens at the waker's next preemption point.
+func (s *Sched) Ready(t *switcher.Thread) {
+	for _, e := range s.ready {
+		if e.t == t {
+			return
+		}
+	}
+	s.seq++
+	s.ready = append(s.ready, readyEntry{t: t, seq: s.seq})
+	if s.k != nil {
+		if cur := s.k.Running(); cur != nil && cur != t && t.Priority > cur.Priority {
+			s.k.RequestResched()
+		}
+	}
+}
+
+// PickNext implements switcher.Scheduler: highest priority wins; equal
+// priorities round-robin in FIFO order.
+func (s *Sched) PickNext() *switcher.Thread {
+	best := -1
+	for i, e := range s.ready {
+		if best == -1 ||
+			e.t.Priority > s.ready[best].t.Priority ||
+			(e.t.Priority == s.ready[best].t.Priority && e.seq < s.ready[best].seq) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	t := s.ready[best].t
+	s.ready = append(s.ready[:best], s.ready[best+1:]...)
+	return t
+}
+
+// OnIRQ implements switcher.Scheduler: a device interrupt increments the
+// line's interrupt futex word and wakes its waiters; drivers are ordinary
+// threads waiting on that futex (§3.1.4).
+func (s *Sched) OnIRQ(line hw.IRQ) {
+	if line == hw.IRQTimer {
+		// Quantum expiry: the kernel loop already requeued the thread.
+		return
+	}
+	if !s.irqWord.Valid() {
+		return
+	}
+	addr := s.irqWordAddr[line]
+	w := s.irqWord.WithAddress(addr)
+	v, err := s.k.Core.Mem.Load32(w)
+	if err != nil {
+		return
+	}
+	_ = s.k.Core.Mem.Store32(w, v+1)
+	s.wake(addr, -1)
+}
+
+// ForceWake implements switcher.Scheduler (micro-reboot step 2).
+func (s *Sched) ForceWake(t *switcher.Thread) {
+	if w, ok := s.waiters[t]; ok && !w.done {
+		w.forced = true
+		s.complete(w)
+		return
+	}
+	s.Ready(t)
+}
+
+// wake wakes up to n waiters on addr (-1 = all), charging the wake cost
+// per thread. It returns the number woken.
+func (s *Sched) wake(addr uint32, n int) int {
+	q := s.futexes[addr]
+	woken := 0
+	for _, w := range q {
+		if w.done {
+			continue
+		}
+		if n >= 0 && woken >= n {
+			break
+		}
+		w.wokenBy = addr
+		s.complete(w)
+		woken++
+		s.k.Core.Tick(hw.FutexWakeCycles)
+	}
+	return woken
+}
+
+// complete removes the waiter from every queue it is registered on and
+// makes the thread runnable.
+func (s *Sched) complete(w *waiter) {
+	w.done = true
+	delete(s.waiters, w.t)
+	for _, a := range w.addrs {
+		q := s.futexes[a]
+		for i, x := range q {
+			if x == w {
+				s.futexes[a] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		if len(s.futexes[a]) == 0 {
+			delete(s.futexes, a)
+		}
+	}
+	s.Ready(w.t)
+}
+
+// register enrols a waiter on its addresses.
+func (s *Sched) register(w *waiter) {
+	s.waiters[w.t] = w
+	for _, a := range w.addrs {
+		s.futexes[a] = append(s.futexes[a], w)
+	}
+}

@@ -1,0 +1,255 @@
+package sched_test
+
+import (
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/core"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/sched"
+)
+
+func boot(t *testing.T, img *firmware.Image) *core.System {
+	t.Helper()
+	s, err := core.Boot(img)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+// addApp builds one compartment with the scheduler imports and the given
+// entries.
+func addApp(img *firmware.Image, exports ...*firmware.Export) {
+	img.AddCompartment(&firmware.Compartment{
+		Name: "app", CodeSize: 256, DataSize: 64,
+		Imports: sched.Imports(),
+		Exports: exports,
+	})
+}
+
+func thread(img *firmware.Image, name, entry string, prio int) {
+	img.AddThread(&firmware.Thread{Name: name, Compartment: "app", Entry: entry,
+		Priority: prio, StackSize: 2048, TrustedStackFrames: 8})
+}
+
+// TestFutexWakeCount: wake(n) wakes at most n waiters; the rest keep
+// sleeping until woken.
+func TestFutexWakeCount(t *testing.T) {
+	img := core.NewImage("wake-count")
+	var woken int
+	waiter := &firmware.Export{Name: "waiter", MinStack: 512,
+		Entry: func(ctx api.Context, args []api.Value) []api.Value {
+			word := ctx.Globals().WithAddress(ctx.Globals().Base())
+			rets, err := ctx.Call(sched.Name, sched.EntryFutexWait,
+				api.C(word), api.W(0), api.W(0))
+			if err == nil && api.ErrnoOf(rets) == api.OK {
+				woken++
+			}
+			return nil
+		}}
+	waker := &firmware.Export{Name: "waker", MinStack: 512,
+		Entry: func(ctx api.Context, args []api.Value) []api.Value {
+			word := ctx.Globals().WithAddress(ctx.Globals().Base())
+			ctx.Yield() // let all three waiters park
+			ctx.Yield()
+			ctx.Store32(word, 1)
+			rets, err := ctx.Call(sched.Name, sched.EntryFutexWake, api.C(word), api.W(2))
+			if err != nil || rets[0].AsWord() != 2 {
+				t.Errorf("wake: %v %v", err, rets)
+			}
+			return nil
+		}}
+	addApp(img, waiter, waker)
+	thread(img, "w1", "waiter", 5)
+	thread(img, "w2", "waiter", 5)
+	thread(img, "w3", "waiter", 5)
+	thread(img, "waker", "waker", 1)
+	s := boot(t, img)
+	// The third waiter never wakes: the run ends in a deadlock report,
+	// which is expected for this scenario.
+	err := s.Run(nil)
+	if err == nil {
+		t.Fatal("expected a reported deadlock for the unwoken waiter")
+	}
+	if woken != 2 {
+		t.Fatalf("woken = %d, want exactly 2", woken)
+	}
+}
+
+// TestFutexValueMismatchReturnsImmediately: compare-and-wait with a stale
+// expectation does not sleep.
+func TestFutexValueMismatchReturnsImmediately(t *testing.T) {
+	img := core.NewImage("mismatch")
+	var errno api.Errno
+	addApp(img, &firmware.Export{Name: "main", MinStack: 512,
+		Entry: func(ctx api.Context, args []api.Value) []api.Value {
+			word := ctx.Globals().WithAddress(ctx.Globals().Base())
+			ctx.Store32(word, 7)
+			rets, err := ctx.Call(sched.Name, sched.EntryFutexWait,
+				api.C(word), api.W(3), api.W(0)) // expects 3, word holds 7
+			if err != nil {
+				t.Errorf("wait: %v", err)
+				return nil
+			}
+			errno = api.ErrnoOf(rets)
+			return nil
+		}})
+	thread(img, "t", "main", 1)
+	s := boot(t, img)
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if errno != api.OK {
+		t.Fatalf("errno = %v, want immediate OK", errno)
+	}
+}
+
+// TestFutexRequiresLoadPermission: a capability without load permission
+// is rejected, per the least-privilege futex contract (§3.2.4).
+func TestFutexRequiresLoadPermission(t *testing.T) {
+	img := core.NewImage("perm")
+	var errno api.Errno
+	addApp(img, &firmware.Export{Name: "main", MinStack: 512,
+		Entry: func(ctx api.Context, args []api.Value) []api.Value {
+			g := ctx.Globals()
+			noload, _ := g.WithoutPerms(0xffff) // strip everything
+			rets, err := ctx.Call(sched.Name, sched.EntryFutexWait,
+				api.C(noload), api.W(0), api.W(100))
+			if err != nil {
+				t.Errorf("wait: %v", err)
+				return nil
+			}
+			errno = api.ErrnoOf(rets)
+			return nil
+		}})
+	thread(img, "t", "main", 1)
+	s := boot(t, img)
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if errno != api.ErrInvalid {
+		t.Fatalf("errno = %v, want invalid", errno)
+	}
+}
+
+// TestSleepAdvancesTime: sleep suspends the thread for the requested
+// cycles while the clock advances (the idle path).
+func TestSleepAdvancesTime(t *testing.T) {
+	img := core.NewImage("sleep")
+	var before, after uint64
+	addApp(img, &firmware.Export{Name: "main", MinStack: 512,
+		Entry: func(ctx api.Context, args []api.Value) []api.Value {
+			before = ctx.Now()
+			if _, err := ctx.Call(sched.Name, sched.EntrySleep, api.W(1_000_000)); err != nil {
+				t.Errorf("sleep: %v", err)
+			}
+			after = ctx.Now()
+			return nil
+		}})
+	thread(img, "t", "main", 1)
+	s := boot(t, img)
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if after-before < 1_000_000 {
+		t.Fatalf("slept only %d cycles", after-before)
+	}
+	if s.Kernel.IdleCycles() == 0 {
+		t.Fatal("idle accounting did not move during the sleep")
+	}
+}
+
+// TestMultiwaitTimeout: a multiwait with no events times out.
+func TestMultiwaitTimeout(t *testing.T) {
+	img := core.NewImage("mw-timeout")
+	var errno api.Errno
+	addApp(img, &firmware.Export{Name: "main", MinStack: 512,
+		Entry: func(ctx api.Context, args []api.Value) []api.Value {
+			g := ctx.Globals()
+			w0 := g.WithAddress(g.Base())
+			w1 := g.WithAddress(g.Base() + 4)
+			rets, err := ctx.Call(sched.Name, sched.EntryMultiwait,
+				api.W(50_000), api.C(w0), api.W(0), api.C(w1), api.W(0))
+			if err != nil {
+				t.Errorf("multiwait: %v", err)
+				return nil
+			}
+			errno = api.ErrnoOf(rets)
+			return nil
+		}})
+	thread(img, "t", "main", 1)
+	s := boot(t, img)
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if errno != api.ErrTimeout {
+		t.Fatalf("errno = %v, want timeout", errno)
+	}
+}
+
+// TestMultiwaitImmediate: if a watched word already moved, multiwait
+// reports it without sleeping.
+func TestMultiwaitImmediate(t *testing.T) {
+	img := core.NewImage("mw-now")
+	var idx uint32 = 99
+	addApp(img, &firmware.Export{Name: "main", MinStack: 512,
+		Entry: func(ctx api.Context, args []api.Value) []api.Value {
+			g := ctx.Globals()
+			w0 := g.WithAddress(g.Base())
+			w1 := g.WithAddress(g.Base() + 4)
+			ctx.Store32(w1, 5)
+			rets, err := ctx.Call(sched.Name, sched.EntryMultiwait,
+				api.W(0), api.C(w0), api.W(0), api.C(w1), api.W(0))
+			if err != nil || api.ErrnoOf(rets) < 0 {
+				t.Errorf("multiwait: %v %v", err, rets)
+				return nil
+			}
+			idx = rets[0].AsWord()
+			return nil
+		}})
+	thread(img, "t", "main", 1)
+	s := boot(t, img)
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if idx != 1 {
+		t.Fatalf("index = %d, want 1", idx)
+	}
+}
+
+// TestHigherPriorityPreemptsOnWake: waking a higher-priority thread
+// preempts the waker at its next preemption point.
+func TestHigherPriorityPreemptsOnWake(t *testing.T) {
+	img := core.NewImage("preempt-wake")
+	var order []string
+	addApp(img,
+		&firmware.Export{Name: "high", MinStack: 512,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				word := ctx.Globals().WithAddress(ctx.Globals().Base())
+				_, _ = ctx.Call(sched.Name, sched.EntryFutexWait, api.C(word), api.W(0), api.W(0))
+				order = append(order, "high-woke")
+				return nil
+			}},
+		&firmware.Export{Name: "low", MinStack: 512,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				word := ctx.Globals().WithAddress(ctx.Globals().Base())
+				ctx.Yield()
+				ctx.Store32(word, 1)
+				_, _ = ctx.Call(sched.Name, sched.EntryFutexWake, api.C(word), api.W(1))
+				ctx.Work(10) // preemption point
+				order = append(order, "low-after-wake")
+				return nil
+			}},
+	)
+	thread(img, "high", "high", 9)
+	thread(img, "low", "low", 1)
+	s := boot(t, img)
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "high-woke" {
+		t.Fatalf("order = %v, want the high thread to run first after wake", order)
+	}
+}

@@ -1,0 +1,235 @@
+package switcher
+
+import (
+	"fmt"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/hw"
+)
+
+// ctx implements api.Context for one compartment-call frame. Every memory
+// operation is capability-checked by the mem layer and charged cycles; any
+// violation panics with *hw.Trap, which the switcher catches at the
+// compartment boundary, exactly like a hardware trap.
+type ctx struct {
+	k         *Kernel
+	t         *Thread
+	comp      *Comp
+	frameIdx  int
+	inHandler bool
+}
+
+var _ api.Context = (*ctx)(nil)
+
+// checkLive faults the thread out of a compartment that is being
+// micro-rebooted; it runs at the top of every context operation
+// (micro-reboot step 2's "waking up and faulting all other threads"). The
+// error handler driving the reboot is exempt — it must be able to run its
+// cleanup inside the compartment.
+func (c *ctx) checkLive() {
+	if c.t.evict[c.comp.Name()] {
+		panic(&hw.Trap{Code: hw.TrapForcedUnwind,
+			Detail: fmt.Sprintf("thread evicted from resetting compartment %s", c.comp.Name())})
+	}
+	if c.comp.resetting && !c.inHandler {
+		panic(&hw.Trap{Code: hw.TrapForcedUnwind,
+			Detail: fmt.Sprintf("compartment %s is resetting", c.comp.Name())})
+	}
+}
+
+func (c *ctx) trapIf(err error, addr uint32) {
+	if err != nil {
+		panic(hw.TrapFromCapError(err, addr))
+	}
+}
+
+// Compartment implements api.Context.
+func (c *ctx) Compartment() string { return c.comp.Name() }
+
+// Caller implements api.Context, reading the trusted stack.
+func (c *ctx) Caller() string {
+	if c.frameIdx == 0 {
+		return ""
+	}
+	return c.t.frames[c.frameIdx-1].comp.Name()
+}
+
+// ThreadID implements api.Context.
+func (c *ctx) ThreadID() int { return c.t.ID }
+
+// Load32 implements api.Context.
+func (c *ctx) Load32(cc cap.Capability) uint32 {
+	c.checkLive()
+	c.k.Core.Tick(hw.CopyCost(4))
+	v, err := c.k.Core.Mem.Load32(cc)
+	c.trapIf(err, cc.Address())
+	c.t.maybePreempt()
+	return v
+}
+
+// Store32 implements api.Context.
+func (c *ctx) Store32(cc cap.Capability, v uint32) {
+	c.checkLive()
+	c.k.Core.Tick(hw.CopyCost(4))
+	c.trapIf(c.k.Core.Mem.Store32(cc, v), cc.Address())
+	c.t.maybePreempt()
+}
+
+// LoadBytes implements api.Context.
+func (c *ctx) LoadBytes(cc cap.Capability, n uint32) []byte {
+	c.checkLive()
+	c.k.Core.Tick(hw.CopyCost(n))
+	b, err := c.k.Core.Mem.LoadBytes(cc, n)
+	c.trapIf(err, cc.Address())
+	c.t.maybePreempt()
+	return b
+}
+
+// StoreBytes implements api.Context.
+func (c *ctx) StoreBytes(cc cap.Capability, b []byte) {
+	c.checkLive()
+	c.k.Core.Tick(hw.CopyCost(uint32(len(b))))
+	c.trapIf(c.k.Core.Mem.StoreBytes(cc, b), cc.Address())
+	c.t.maybePreempt()
+}
+
+// LoadCap implements api.Context.
+func (c *ctx) LoadCap(cc cap.Capability) cap.Capability {
+	c.checkLive()
+	// Two bus reads on the 33-bit bus (§5.3).
+	c.k.Core.Tick(hw.CopyCost(8))
+	v, err := c.k.Core.Mem.LoadCap(cc)
+	c.trapIf(err, cc.Address())
+	c.t.maybePreempt()
+	return v
+}
+
+// StoreCap implements api.Context.
+func (c *ctx) StoreCap(at, v cap.Capability) {
+	c.checkLive()
+	c.k.Core.Tick(hw.CopyCost(8))
+	c.trapIf(c.k.Core.Mem.StoreCap(at, v), at.Address())
+	c.t.maybePreempt()
+}
+
+// Zero implements api.Context.
+func (c *ctx) Zero(cc cap.Capability, n uint32) {
+	c.checkLive()
+	c.k.Core.Tick(hw.ZeroCost(n))
+	c.trapIf(c.k.Core.Mem.Zero(cc, n), cc.Address())
+	c.t.maybePreempt()
+}
+
+// Work implements api.Context.
+func (c *ctx) Work(n uint64) {
+	c.checkLive()
+	c.k.Core.Tick(n)
+	c.t.maybePreempt()
+}
+
+// Now implements api.Context.
+func (c *ctx) Now() uint64 { return c.k.Core.Clock.Cycles() }
+
+// Yield implements api.Context.
+func (c *ctx) Yield() {
+	c.checkLive()
+	c.t.yield(yieldVoluntary)
+}
+
+// Call implements api.Context.
+func (c *ctx) Call(compartment, entry string, args ...api.Value) ([]api.Value, error) {
+	c.checkLive()
+	return c.k.compartmentCall(c.t, c.comp, compartment, entry, args)
+}
+
+// LibCall implements api.Context.
+func (c *ctx) LibCall(library, fn string, args ...api.Value) []api.Value {
+	c.checkLive()
+	return c.k.libCall(c, library, fn, args)
+}
+
+// Globals implements api.Context.
+func (c *ctx) Globals() cap.Capability { return c.comp.globals }
+
+// State implements api.Context.
+func (c *ctx) State() interface{} { return c.comp.state }
+
+// MMIO implements api.Context.
+func (c *ctx) MMIO(name string) cap.Capability {
+	if w, ok := c.comp.mmio[name]; ok {
+		return w
+	}
+	panic(&hw.Trap{Code: hw.TrapPermitViolation,
+		Detail: fmt.Sprintf("%s does not import device %q", c.comp.Name(), name)})
+}
+
+// SharedGlobal implements api.Context.
+func (c *ctx) SharedGlobal(name string) cap.Capability {
+	if s, ok := c.comp.shared[name]; ok {
+		return s
+	}
+	panic(&hw.Trap{Code: hw.TrapPermitViolation,
+		Detail: fmt.Sprintf("%s has no grant for shared global %q", c.comp.Name(), name)})
+}
+
+// SealedImport implements api.Context.
+func (c *ctx) SealedImport(name string) cap.Capability {
+	if s, ok := c.comp.sealedImports[name]; ok {
+		return s
+	}
+	panic(&hw.Trap{Code: hw.TrapPermitViolation,
+		Detail: fmt.Sprintf("%s does not import sealed object %q", c.comp.Name(), name)})
+}
+
+// StackAlloc implements api.Context.
+func (c *ctx) StackAlloc(n uint32) cap.Capability {
+	c.checkLive()
+	fr := &c.t.frames[c.frameIdx]
+	n = align8(n)
+	if fr.allocOff+n > fr.size {
+		panic(&hw.Trap{Code: hw.TrapStackOverflow, Addr: fr.base,
+			Detail: fmt.Sprintf("stack frame of %d bytes exhausted", fr.size)})
+	}
+	base := fr.base + fr.allocOff
+	fr.allocOff += n
+	if fr.base < c.t.dirtyFloor {
+		c.t.dirtyFloor = fr.base // the frame is (potentially) dirty now
+	}
+	buf, err := c.t.stackCap.WithAddress(base).SetBounds(n)
+	c.trapIf(err, base)
+	return buf
+}
+
+// During implements api.Context: the DURING/HANDLER scoped error handler
+// built on setjmp/longjmp (§3.2.6). A forced unwind (micro-reboot) is not
+// interceptable and continues to tear the thread out.
+func (c *ctx) During(body func(), handler func(t *hw.Trap)) {
+	c.checkLive()
+	c.k.Core.Tick(hw.ScopedEnterCycles)
+	defer func() {
+		if r := recover(); r != nil {
+			tr, ok := r.(*hw.Trap)
+			if !ok || tr.Code == hw.TrapForcedUnwind {
+				panic(r)
+			}
+			c.k.Core.Tick(hw.ScopedUnwindCycles)
+			handler(tr)
+		}
+	}()
+	body()
+}
+
+// Fault implements api.Context.
+func (c *ctx) Fault(code hw.TrapCode, detail string) {
+	panic(&hw.Trap{Code: code, Detail: detail})
+}
+
+// EphemeralClaim implements api.Context: the hazard-pointer-style claim
+// held in the thread's two switcher-managed slots (§3.2.5).
+func (c *ctx) EphemeralClaim(cc cap.Capability) {
+	c.checkLive()
+	c.k.Core.Tick(hw.EphemeralClaimCycles)
+	c.t.hazard[c.t.hazardNext] = cc
+	c.t.hazardNext = (c.t.hazardNext + 1) % len(c.t.hazard)
+}

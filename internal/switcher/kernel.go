@@ -1,0 +1,419 @@
+package switcher
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+)
+
+// Scheduler is the policy half of the TCB's scheduling split: the switcher
+// mechanically context-switches, the scheduler decides (§3.1.4). The
+// scheduler is trusted only for availability; it never sees thread
+// register state (which the switcher hands it sealed).
+type Scheduler interface {
+	// Ready makes a thread runnable.
+	Ready(t *Thread)
+	// PickNext removes and returns the next thread to run, or nil to idle.
+	PickNext() *Thread
+	// OnIRQ handles a device interrupt (typically bumping an interrupt
+	// futex and waking its waiters).
+	OnIRQ(line hw.IRQ)
+	// ForceWake unblocks a thread regardless of what it waits on, so a
+	// micro-reboot can rewind threads stuck inside a dying compartment.
+	ForceWake(t *Thread)
+	// Quantum returns the preemption quantum in cycles.
+	Quantum() uint64
+}
+
+// CodeBytes models the switcher's compiled footprint: ~355 instructions
+// of carefully audited assembly, ~1.4 KB (Table 2, §5.1.1).
+const CodeBytes = 1400
+
+// EntryPoints is the number of thoroughly-checked switcher entry points
+// (§5.1.1).
+const EntryPoints = 11
+
+// ErrDeadlock is returned by Run when threads remain blocked with no
+// pending device events to wake them.
+var ErrDeadlock = errors.New("switcher: all threads blocked and no pending events")
+
+// Kernel owns the simulated machine at run time: the core, the runtime
+// compartments, and the threads. It implements the switcher's
+// responsibilities and delegates policy to the Scheduler.
+type Kernel struct {
+	Core *hw.Core
+
+	sched   Scheduler
+	comps   map[string]*Comp
+	libs    map[string]*Lib
+	threads []*Thread
+
+	yieldCh     chan yieldMsg
+	lastRun     *Thread
+	needResched bool
+	fatal       error
+
+	// stackZeroing can be disabled for ablation studies only: without it,
+	// compartment calls leak stack contents across trust boundaries (the
+	// cost it buys is measured in BenchmarkAblation_StackZeroing).
+	stackZeroing bool
+	// lazyZeroing models the stack high-water-mark hardware optimization
+	// the paper cites ([32,33,43,106] in §5.3.2): entry-path zeroing is
+	// skipped for stack the thread has not dirtied since it was last
+	// scrubbed, and the return path scrubs only what the callee actually
+	// used. Isolation is preserved; only redundant zeroing is elided.
+	lazyZeroing bool
+
+	// trace, when enabled, records kernel events (debug utilities).
+	trace *tracer
+
+	// Accounting for the evaluation harness.
+	idleCycles    uint64
+	switchCount   uint64
+	compCallCount uint64
+
+	// heapRoot is the allocator's privileged capability over the heap
+	// region (PermUser0 bypasses the load filter). Only the allocator
+	// compartment receives it, via AllocatorRoot.
+	heapRoot    cap.Capability
+	heapRegion  firmware.Region
+	allocatorID string
+}
+
+// NewKernel wraps a core. The loader populates compartments and threads.
+func NewKernel(core *hw.Core) *Kernel {
+	return &Kernel{
+		Core:         core,
+		comps:        make(map[string]*Comp),
+		libs:         make(map[string]*Lib),
+		yieldCh:      make(chan yieldMsg),
+		stackZeroing: true,
+	}
+}
+
+// SetScheduler installs the scheduling policy; it must be called before Run.
+func (k *Kernel) SetScheduler(s Scheduler) { k.sched = s }
+
+// SetStackZeroing toggles the switcher's stack scrubbing. ONLY for
+// ablation measurements: disabling it removes the caller/callee-leak
+// protection of §3.1.2.
+func (k *Kernel) SetStackZeroing(on bool) { k.stackZeroing = on }
+
+// SetLazyStackZeroing enables the high-water-mark zeroing optimization:
+// clean stack (zeroed and untouched since) is not re-zeroed on the call
+// path. See the lazyZeroing field for the model.
+func (k *Kernel) SetLazyStackZeroing(on bool) { k.lazyZeroing = on }
+
+// AddComp registers a runtime compartment built by the loader.
+func (k *Kernel) AddComp(c *Comp) { k.comps[c.Name()] = c }
+
+// AddLib registers a runtime shared library built by the loader.
+func (k *Kernel) AddLib(l *Lib) { k.libs[l.Name()] = l }
+
+// Comp returns a runtime compartment by name, or nil.
+func (k *Kernel) Comp(name string) *Comp { return k.comps[name] }
+
+// Threads returns all threads.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// ThreadByID returns a thread by its identifier, or nil.
+func (k *Kernel) ThreadByID(id int) *Thread {
+	for _, t := range k.threads {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Thread returns a thread by name, or nil.
+func (k *Kernel) Thread(name string) *Thread {
+	for _, t := range k.threads {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// SetHeap records the heap region and derives the allocator's privileged
+// root capability over it. ownerCompartment names the only compartment
+// whose context may retrieve it.
+func (k *Kernel) SetHeap(region firmware.Region, ownerCompartment string) {
+	k.heapRegion = region
+	root := cap.New(region.Base, region.Top(), region.Base,
+		cap.PermData|cap.PermStoreLocal|cap.PermUser0)
+	k.heapRoot = root
+	k.allocatorID = ownerCompartment
+}
+
+// HeapRegion returns the shared-heap region.
+func (k *Kernel) HeapRegion() firmware.Region { return k.heapRegion }
+
+// AllocatorRoot hands out the privileged heap root capability, but only to
+// the compartment SetHeap named. The root carries PermUser0, letting its
+// holder bypass the load filter — the allocator's exclusive access to
+// freed memory (§3.1.3).
+func (k *Kernel) AllocatorRoot(compartment string) (cap.Capability, bool) {
+	if compartment != k.allocatorID || k.allocatorID == "" {
+		return cap.Null(), false
+	}
+	return k.heapRoot, true
+}
+
+// AddThread creates a runtime thread from its definition and layout and
+// spawns its (parked) goroutine.
+func (k *Kernel) AddThread(def *firmware.Thread, layout firmware.ThreadLayout) *Thread {
+	t := &Thread{
+		ID:           len(k.threads) + 1,
+		Name:         def.Name,
+		Priority:     def.Priority,
+		kernel:       k,
+		def:          def,
+		resume:       make(chan resumeAction),
+		stack:        layout.Stack,
+		sp:           layout.Stack.Top(),
+		trustedStack: layout.TrustedStack,
+		maxFrames:    def.TrustedStackFrames,
+	}
+	t.stackCap = cap.New(layout.Stack.Base, layout.Stack.Top(), layout.Stack.Base, cap.PermStack)
+	t.dirtyFloor = layout.Stack.Top() // boot-zeroed: the whole stack is clean
+	k.threads = append(k.threads, t)
+	t.start(def.Compartment, def.Entry)
+	return t
+}
+
+// Stats reports the kernel's accounting counters.
+type Stats struct {
+	IdleCycles       uint64
+	ContextSwitches  uint64
+	CompartmentCalls uint64
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (k *Kernel) Stats() Stats {
+	return Stats{
+		IdleCycles:       k.idleCycles,
+		ContextSwitches:  k.switchCount,
+		CompartmentCalls: k.compCallCount,
+	}
+}
+
+// IdleCycles returns cycles spent with no runnable thread; the scheduler
+// exposes it to the idle-load instrumentation of §5.3.3.
+func (k *Kernel) IdleCycles() uint64 { return k.idleCycles }
+
+// deliverIRQs drains pending interrupt lines into the scheduler.
+func (k *Kernel) deliverIRQs() {
+	for {
+		line, ok := k.Core.PendingIRQ()
+		if !ok {
+			return
+		}
+		k.Core.AckIRQ(line)
+		k.sched.OnIRQ(line)
+	}
+}
+
+// Run drives the machine until stop returns true, every thread has exited,
+// or the system deadlocks. stop is sampled between dispatches; pass nil to
+// run to completion.
+func (k *Kernel) Run(stop func() bool) error {
+	if k.sched == nil {
+		return errors.New("switcher: no scheduler installed")
+	}
+	// Boot: all created threads become ready.
+	for _, t := range k.threads {
+		if t.state == StateCreated {
+			t.state = StateReady
+			k.sched.Ready(t)
+		}
+	}
+	for {
+		if k.fatal != nil {
+			panic(k.fatal)
+		}
+		if stop != nil && stop() {
+			return nil
+		}
+		k.deliverIRQs()
+		t := k.sched.PickNext()
+		if t == nil {
+			if deadline, ok := k.Core.NextEvent(); ok {
+				before := k.Core.Clock.Cycles()
+				k.Core.SkipTo(deadline)
+				k.idleCycles += k.Core.Clock.Cycles() - before
+				continue
+			}
+			if k.liveThreads() == 0 {
+				return nil
+			}
+			return fmt.Errorf("%w: %s", ErrDeadlock, k.blockedList())
+		}
+		if t.state == StateExited {
+			continue // stale queue entry
+		}
+		if t != k.lastRun {
+			k.Core.Tick(hw.ContextRestoreCycles)
+			k.switchCount++
+			k.record(TraceEvent{Kind: TraceSwitch, Thread: t.Name})
+		}
+		t.state = StateRunning
+		t.sliceEnd = k.Core.Clock.Cycles() + k.sched.Quantum()
+		k.lastRun = t
+		t.resume <- resumeRun
+		msg := <-k.yieldCh
+		if k.fatal != nil {
+			panic(k.fatal)
+		}
+		switch msg.kind {
+		case yieldExited:
+			// Nothing to do; the goroutine is gone.
+		case yieldBlocked:
+			// The scheduler recorded what the thread waits on; charge the
+			// decision it just made.
+			k.Core.Tick(hw.SchedulerDecideCycles)
+		case yieldPreempt, yieldVoluntary:
+			k.Core.Tick(hw.TrapEntryCycles + hw.SchedulerEnterCycles + hw.SchedulerDecideCycles)
+			msg.t.state = StateReady
+			k.sched.Ready(msg.t)
+		}
+	}
+}
+
+func (k *Kernel) liveThreads() int {
+	n := 0
+	for _, t := range k.threads {
+		if t.state != StateExited {
+			n++
+		}
+	}
+	return n
+}
+
+func (k *Kernel) blockedList() string {
+	s := ""
+	for _, t := range k.threads {
+		if t.state == StateBlocked {
+			if s != "" {
+				s += ", "
+			}
+			s += fmt.Sprintf("%s (in %s)", t.Name, t.CurrentCompartment())
+		}
+	}
+	return s
+}
+
+// Shutdown kills every parked thread goroutine. Call it after Run returns
+// if threads may still be blocked; tests use it to avoid goroutine leaks.
+func (k *Kernel) Shutdown() {
+	for _, t := range k.threads {
+		if t.state == StateExited || t.state == StateRunning {
+			continue
+		}
+		t.state = StateExited
+		t.resume <- resumeKill
+	}
+}
+
+// Running returns the thread currently (or most recently) dispatched.
+func (k *Kernel) Running() *Thread { return k.lastRun }
+
+// RequestResched asks the running thread to trap into the scheduler at
+// its next preemption point. The scheduler calls it when a wake-up makes
+// a higher-priority thread runnable.
+func (k *Kernel) RequestResched() { k.needResched = true }
+
+// Block parks the calling thread (which must be the running one) until a
+// later Ready. The scheduler's compartment entries use it to implement
+// futex waits and sleeps.
+func (k *Kernel) Block(t *Thread) {
+	t.state = StateBlocked
+	t.yield(yieldBlocked)
+	// Resumed: the kernel loop set us running again.
+	t.state = StateRunning
+}
+
+// HazardSlots reports every thread's ephemeral-claim slots; the allocator
+// consults them before reusing freed memory (§3.2.5).
+func (k *Kernel) HazardSlots() []cap.Capability {
+	var out []cap.Capability
+	for _, t := range k.threads {
+		for _, h := range t.hazard {
+			if h.Valid() {
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// --- Micro-reboot support (§3.2.6) ---
+
+// BeginReset starts a micro-reboot of a compartment: new calls are refused
+// with ErrCompartmentBusy and every thread currently inside (other than
+// exceptThreadID, the one driving the reboot from its error handler)
+// faults with TrapForcedUnwind at its next operation. Blocked threads are
+// force-woken so they reach that operation.
+func (k *Kernel) BeginReset(name string, exceptThreadID int) error {
+	c := k.comps[name]
+	if c == nil {
+		return fmt.Errorf("switcher: no compartment %q", name)
+	}
+	c.resetting = true
+	for _, t := range k.threads {
+		if t.ID == exceptThreadID || t.state == StateExited {
+			continue
+		}
+		if t.InCompartment(name) {
+			if t.evict == nil {
+				t.evict = make(map[string]bool)
+			}
+			t.evict[name] = true
+			if t.state == StateBlocked {
+				k.sched.ForceWake(t)
+			}
+		}
+	}
+	return nil
+}
+
+// FinishReset completes a micro-reboot: globals are restored from the
+// boot-time snapshot, the Go-level state object is rebuilt, and calls are
+// accepted again (§3.2.6 steps 4-5).
+func (k *Kernel) FinishReset(name string) error {
+	c := k.comps[name]
+	if c == nil {
+		return fmt.Errorf("switcher: no compartment %q", name)
+	}
+	if c.layout.Data.Size > 0 {
+		if err := k.Core.Mem.Zero(c.globals, c.layout.Data.Size); err != nil {
+			return err
+		}
+		if len(c.globalsSnapshot) > 0 {
+			if err := k.Core.Mem.StoreBytes(c.globals, c.globalsSnapshot); err != nil {
+				return err
+			}
+		}
+		k.Core.Tick(hw.ZeroCost(c.layout.Data.Size))
+	}
+	if c.def.State != nil {
+		c.state = c.def.State()
+	}
+	c.resetting = false
+	return nil
+}
+
+// ThreadsIn counts threads with a frame inside the named compartment.
+func (k *Kernel) ThreadsIn(name string) int {
+	n := 0
+	for _, t := range k.threads {
+		if t.state != StateExited && t.InCompartment(name) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,505 @@
+package switcher_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/core"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/switcher"
+)
+
+func boot(t *testing.T, img *firmware.Image) *core.System {
+	t.Helper()
+	s, err := core.Boot(img)
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func run(t *testing.T, s *core.System) {
+	t.Helper()
+	if err := s.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestTrustedStackDepthLimit: exceeding the static trusted-stack frame
+// budget faults the caller.
+func TestTrustedStackDepthLimit(t *testing.T) {
+	img := core.NewImage("depth")
+	img.AddCompartment(&firmware.Compartment{
+		Name: "ping", CodeSize: 128, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "pong", Entry: "go"}},
+		Exports: []*firmware.Export{{Name: "go", MinStack: 16,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, err := ctx.Call("pong", "go", args[0])
+				if err != nil {
+					return api.EV(api.ErrUnwound)
+				}
+				return api.EV(api.OK)
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "pong", CodeSize: 128, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "ping", Entry: "go"}},
+		Exports: []*firmware.Export{{Name: "go", MinStack: 16,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, err := ctx.Call("ping", "go", args[0])
+				if err != nil {
+					return api.EV(api.ErrUnwound)
+				}
+				return api.EV(api.OK)
+			}}},
+	})
+	var topErr error
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 128, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "ping", Entry: "go"}},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 64,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, topErr = ctx.Call("ping", "go", api.W(0))
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 8192, TrustedStackFrames: 6})
+	s := boot(t, img)
+	run(t, s)
+	// The recursion dies at the frame limit; the fault is an unwind at
+	// some depth that propagates as error returns.
+	if topErr == nil {
+		// The top call returned a value: the inner frames reported
+		// ErrUnwound up the chain, which is also acceptable containment.
+		return
+	}
+	if !errors.Is(topErr, api.ErrUnwound) {
+		t.Fatalf("top-level error = %v", topErr)
+	}
+}
+
+// TestHazardSlotsClearOnCall: ephemeral claims last only until the next
+// compartment call (§3.2.5).
+func TestHazardSlotsClearOnCall(t *testing.T) {
+	img := core.NewImage("hazard")
+	img.AddCompartment(&firmware.Compartment{
+		Name: "other", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "nop", MinStack: 0,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value { return nil }}},
+	})
+	var afterClaim, afterCall int
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 128, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "other", Entry: "nop"}},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 128,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				g := cap.New(0x100, 0x200, 0x100, cap.PermData)
+				ctx.EphemeralClaim(g)
+				afterClaim = len(kernelOf(ctx).HazardSlots())
+				if _, err := ctx.Call("other", "nop"); err != nil {
+					t.Errorf("call: %v", err)
+				}
+				afterCall = len(kernelOf(ctx).HazardSlots())
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	s := boot(t, img)
+	kernel = s.Kernel
+	run(t, s)
+	if afterClaim != 1 {
+		t.Fatalf("hazard slots after claim = %d, want 1", afterClaim)
+	}
+	if afterCall != 0 {
+		t.Fatalf("hazard slots after call = %d, want 0", afterCall)
+	}
+}
+
+// kernel gives test entries access to the booted kernel (the tests play
+// the role of TCB code here).
+var kernel *switcher.Kernel
+
+func kernelOf(ctx api.Context) *switcher.Kernel { return kernel }
+
+// TestStackWatermark: the dynamic stack-usage tool reports the deepest
+// stack extent (§3.2.5).
+func TestStackWatermark(t *testing.T) {
+	img := core.NewImage("watermark")
+	img.AddCompartment(&firmware.Compartment{
+		Name: "deep", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "fn", MinStack: 512,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value { return nil }}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 128, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "deep", Entry: "fn"}},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, _ = ctx.Call("deep", "fn")
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	s := boot(t, img)
+	run(t, s)
+	th := s.Kernel.Thread("t")
+	if got := th.StackWatermark(); got != 256+512 {
+		t.Fatalf("watermark = %d, want 768", got)
+	}
+}
+
+// TestCallerIdentity: the trusted stack reports the true caller even
+// through nested calls.
+func TestCallerIdentity(t *testing.T) {
+	img := core.NewImage("caller")
+	var seen []string
+	img.AddCompartment(&firmware.Compartment{
+		Name: "svc", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "who", MinStack: 64,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				seen = append(seen, ctx.Caller())
+				return nil
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "middle", CodeSize: 64, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "svc", Entry: "who"}},
+		Exports: []*firmware.Export{{Name: "relay", MinStack: 128,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, _ = ctx.Call("svc", "who")
+				return nil
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 64, DataSize: 0,
+		Imports: []firmware.Import{
+			{Kind: firmware.ImportCall, Target: "svc", Entry: "who"},
+			{Kind: firmware.ImportCall, Target: "middle", Entry: "relay"},
+		},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, _ = ctx.Call("svc", "who")
+				_, _ = ctx.Call("middle", "relay")
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 8})
+	s := boot(t, img)
+	run(t, s)
+	if len(seen) != 2 || seen[0] != "main" || seen[1] != "middle" {
+		t.Fatalf("callers = %v, want [main middle]", seen)
+	}
+}
+
+// TestLibraryPostureDefersPreemption: a disabling library sentry runs the
+// whole function without preemption, and posture is restored after.
+func TestLibraryPostureDefersPreemption(t *testing.T) {
+	img := core.NewImage("posture")
+	var switchesDuring uint64
+	img.AddLibrary(&firmware.Library{
+		Name: "critlib", CodeSize: 64,
+		Funcs: []*firmware.Export{{Name: "critical", Posture: firmware.PostureDisabled,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				before := kernel.Stats().ContextSwitches
+				// Lots of work with a tiny quantum: without the posture
+				// this would be preempted many times.
+				for i := 0; i < 50; i++ {
+					ctx.Work(1000)
+				}
+				switchesDuring = kernel.Stats().ContextSwitches - before
+				return nil
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 64, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportLib, Target: "critlib", Entry: "critical"}},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				ctx.LibCall("critlib", "critical")
+				return nil
+			}}},
+	})
+	// A competing thread that would preempt if interrupts were enabled.
+	img.AddCompartment(&firmware.Compartment{
+		Name: "noise", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "spin", MinStack: 64,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				for i := 0; i < 50; i++ {
+					ctx.Work(1000)
+				}
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "main", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	img.AddThread(&firmware.Thread{Name: "noise", Compartment: "noise", Entry: "spin",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	s := boot(t, img)
+	kernel = s.Kernel
+	s.Sched.SetQuantum(2000)
+	run(t, s)
+	if switchesDuring != 0 {
+		t.Fatalf("context switches during IRQ-deferred library call = %d, want 0", switchesDuring)
+	}
+}
+
+// TestCompartmentExportPosture: an entry point annotated with the
+// interrupts-disabled posture runs without preemption, and the posture is
+// restored on return (§2.1's forward/backward sentry semantics).
+func TestCompartmentExportPosture(t *testing.T) {
+	img := core.NewImage("export-posture")
+	var switchesDuring, switchesAfter uint64
+	img.AddCompartment(&firmware.Compartment{
+		Name: "svc", CodeSize: 128, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "critical", MinStack: 64,
+			Posture: firmware.PostureDisabled,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				before := kernel.Stats().ContextSwitches
+				for i := 0; i < 40; i++ {
+					ctx.Work(1000)
+				}
+				switchesDuring = kernel.Stats().ContextSwitches - before
+				return nil
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 128, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "svc", Entry: "critical"}},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, _ = ctx.Call("svc", "critical")
+				// Back in the caller: interrupts are enabled again.
+				before := kernel.Stats().ContextSwitches
+				for i := 0; i < 40; i++ {
+					ctx.Work(1000)
+				}
+				switchesAfter = kernel.Stats().ContextSwitches - before
+				return nil
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "noise", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "spin", MinStack: 64,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				for i := 0; i < 100; i++ {
+					ctx.Work(1000)
+				}
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "main", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	img.AddThread(&firmware.Thread{Name: "noise", Compartment: "noise", Entry: "spin",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	s := boot(t, img)
+	kernel = s.Kernel
+	s.Sched.SetQuantum(1500)
+	run(t, s)
+	if switchesDuring != 0 {
+		t.Fatalf("switches during IRQ-disabled entry = %d, want 0", switchesDuring)
+	}
+	if switchesAfter == 0 {
+		t.Fatal("posture not restored: no preemption after the call")
+	}
+}
+
+// TestNestedDuring: scoped handlers nest lexically; the innermost matching
+// handler wins.
+func TestNestedDuring(t *testing.T) {
+	img := core.NewImage("nested-during")
+	var order []string
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 128, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "main", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				ctx.During(func() {
+					ctx.During(func() {
+						ctx.Fault(hw.TrapBoundsViolation, "inner")
+					}, func(tr *hw.Trap) { order = append(order, "inner-handler") })
+					order = append(order, "after-inner")
+					ctx.Fault(hw.TrapTagViolation, "outer")
+				}, func(tr *hw.Trap) { order = append(order, "outer-handler:"+tr.Code.String()) })
+				order = append(order, "done")
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	s := boot(t, img)
+	run(t, s)
+	want := []string{"inner-handler", "after-inner", "outer-handler:tag violation", "done"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestHandlerRetry: a global handler can request re-execution of the
+// entry (the "correct the fault and resume" policy).
+func TestHandlerRetry(t *testing.T) {
+	img := core.NewImage("retry")
+	attempts := 0
+	img.AddCompartment(&firmware.Compartment{
+		Name: "flaky", CodeSize: 128, DataSize: 0,
+		ErrorHandler: func(ctx api.Context, tr *hw.Trap) api.HandlerDecision {
+			return api.HandlerRetry
+		},
+		Exports: []*firmware.Export{{Name: "work", MinStack: 64,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				attempts++
+				if attempts == 1 {
+					ctx.Fault(hw.TrapIllegalInstruction, "transient")
+				}
+				return api.EV(api.OK)
+			}}},
+	})
+	var err error
+	var rets []api.Value
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 64, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "flaky", Entry: "work"}},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 128,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				rets, err = ctx.Call("flaky", "work")
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	s := boot(t, img)
+	run(t, s)
+	if err != nil {
+		t.Fatalf("call after retry: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if api.ErrnoOf(rets) != api.OK {
+		t.Fatalf("rets = %v", rets)
+	}
+}
+
+// TestZeroingOffLeaksStack is the negative control for the ablation
+// switch: with stack scrubbing disabled, a callee reads the previous
+// callee's secrets — demonstrating that the Fig. 6a zeroing cost is
+// exactly what buys the isolation.
+func TestZeroingOffLeaksStack(t *testing.T) {
+	leak := runLeakProbe(t, func(k *switcher.Kernel) { k.SetStackZeroing(false) })
+	if leak != 0xdeadbeef {
+		t.Fatalf("leak probe read %#x; expected the secret with zeroing off", leak)
+	}
+}
+
+// TestLazyZeroingStillIsolates: the high-water-mark optimization elides
+// only *redundant* zeroing — the reader still sees zeros.
+func TestLazyZeroingStillIsolates(t *testing.T) {
+	leak := runLeakProbe(t, func(k *switcher.Kernel) { k.SetLazyStackZeroing(true) })
+	if leak != 0 {
+		t.Fatalf("lazy zeroing leaked %#x", leak)
+	}
+}
+
+// runLeakProbe runs the writer/reader stack experiment with the given
+// kernel configuration and returns what the reader saw.
+func runLeakProbe(t *testing.T, configure func(*switcher.Kernel)) uint32 {
+	t.Helper()
+	img := core.NewImage("leakprobe")
+	var leak uint32
+	img.AddCompartment(&firmware.Compartment{
+		Name: "writer", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "write", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				secret := ctx.StackAlloc(16)
+				ctx.Store32(secret, 0xdeadbeef)
+				return nil
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "reader", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "read", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				buf := ctx.StackAlloc(16)
+				leak = ctx.Load32(buf)
+				return nil
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 64, DataSize: 0,
+		Imports: []firmware.Import{
+			{Kind: firmware.ImportCall, Target: "writer", Entry: "write"},
+			{Kind: firmware.ImportCall, Target: "reader", Entry: "read"},
+		},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 128,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, _ = ctx.Call("writer", "write")
+				_, _ = ctx.Call("reader", "read")
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	s := boot(t, img)
+	configure(s.Kernel)
+	run(t, s)
+	return leak
+}
+
+// TestStackZeroedBetweenCalls: a callee cannot read the previous callee's
+// stack leftovers (caller- and callee-leak prevention, §3.1.2).
+func TestStackZeroedBetweenCalls(t *testing.T) {
+	img := core.NewImage("stackzero")
+	var leak uint32
+	img.AddCompartment(&firmware.Compartment{
+		Name: "writer", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "write", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				secret := ctx.StackAlloc(16)
+				ctx.Store32(secret, 0xdeadbeef)
+				return nil
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "reader", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "read", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				buf := ctx.StackAlloc(16)
+				leak = ctx.Load32(buf)
+				return nil
+			}}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 64, DataSize: 0,
+		Imports: []firmware.Import{
+			{Kind: firmware.ImportCall, Target: "writer", Entry: "write"},
+			{Kind: firmware.ImportCall, Target: "reader", Entry: "read"},
+		},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 128,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, _ = ctx.Call("writer", "write")
+				_, _ = ctx.Call("reader", "read")
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 4})
+	s := boot(t, img)
+	run(t, s)
+	if leak == 0xdeadbeef {
+		t.Fatal("callee read the previous callee's stack secret")
+	}
+	if leak != 0 {
+		t.Fatalf("fresh stack frame not zeroed: %#x", leak)
+	}
+}

@@ -1,0 +1,218 @@
+// Package switcher implements the most privileged runtime component of the
+// RTOS: transitions between threads (context switches), between
+// compartments (calls and returns over trusted stacks), and first-level
+// trap handling (§3.1.2).
+//
+// Threads are goroutines in strict hand-off with the kernel goroutine:
+// exactly one runs at any moment, every switch point is explicit, and all
+// time is the hw.Core cycle clock, so the whole platform is deterministic.
+package switcher
+
+import (
+	"fmt"
+
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+)
+
+// ThreadState is a thread's lifecycle state.
+type ThreadState int8
+
+// Thread states.
+const (
+	StateCreated ThreadState = iota
+	StateReady
+	StateRunning
+	StateBlocked
+	StateExited
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateExited:
+		return "exited"
+	default:
+		return "?"
+	}
+}
+
+type yieldKind int8
+
+const (
+	yieldPreempt   yieldKind = iota // IRQ pending or quantum expired
+	yieldVoluntary                  // explicit Yield
+	yieldBlocked                    // scheduler parked the thread
+	yieldExited                     // entry returned or thread died
+)
+
+type yieldMsg struct {
+	t    *Thread
+	kind yieldKind
+}
+
+type resumeAction int8
+
+const (
+	resumeRun resumeAction = iota
+	resumeKill
+)
+
+// killSentinel unwinds a thread goroutine during Kernel.Shutdown.
+type killSentinel struct{}
+
+// Thread is a statically-created schedulable entity: a stack, a (virtual)
+// register state, and a trusted stack of compartment-call frames
+// accessible only to the switcher (§3.1.2).
+type Thread struct {
+	ID       int
+	Name     string
+	Priority int
+
+	kernel *Kernel
+	def    *firmware.Thread
+
+	state  ThreadState
+	resume chan resumeAction
+
+	// Stack: grows down from stackTop; sp is the current top of the free
+	// region. stackCap is the full-stack capability (local, PermStack).
+	stack    firmware.Region
+	sp       uint32
+	stackCap cap.Capability
+	// peakUsed tracks the high-water mark for the stack-usage watermark
+	// tooling (§3.2.5).
+	peakUsed uint32
+	// dirtyFloor is the lowest stack address written since it was last
+	// scrubbed; everything below it is known-zero. Only consulted in the
+	// lazy-zeroing mode.
+	dirtyFloor uint32
+
+	trustedStack firmware.Region
+	frames       []frame
+	maxFrames    int
+
+	// irqDisable defers preemption while positive (interrupt posture).
+	irqDisable int
+	// sliceEnd is the cycle at which the current quantum expires.
+	sliceEnd uint64
+
+	// hazard holds the thread's two ephemeral-claim slots (§3.2.5).
+	hazard     [2]cap.Capability
+	hazardNext int
+
+	// evict names compartments this thread is being forcibly unwound out
+	// of (micro-reboot step 2); the flag clears when the last frame in
+	// that compartment pops.
+	evict map[string]bool
+
+	// Scheduling fields owned by the scheduler policy.
+	WakeAt  uint64
+	SchedPD interface{}
+
+	exitFault *hw.Trap
+}
+
+// frame is one trusted-stack frame: the callee's identity plus what the
+// switcher needs to restore the caller.
+type frame struct {
+	comp     *Comp
+	exp      *firmware.Export
+	base     uint32 // callee frame base (the new sp)
+	size     uint32 // callee frame size (zeroed on both paths)
+	prevSP   uint32
+	allocOff uint32 // StackAlloc bump offset within the frame
+}
+
+// State returns the thread's lifecycle state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// ExitFault returns the trap that killed the thread's top-level call, if
+// any.
+func (t *Thread) ExitFault() *hw.Trap { return t.exitFault }
+
+// CurrentCompartment returns the compartment the thread is executing in,
+// or "" if it has no frames.
+func (t *Thread) CurrentCompartment() string {
+	if len(t.frames) == 0 {
+		return ""
+	}
+	return t.frames[len(t.frames)-1].comp.Name()
+}
+
+// InCompartment reports whether any frame of the thread is inside the
+// named compartment (used by micro-reboot step 2).
+func (t *Thread) InCompartment(name string) bool {
+	for _, f := range t.frames {
+		if f.comp.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// StackWatermark returns the peak stack usage in bytes, the dynamic
+// stack-usage tool of §3.2.5.
+func (t *Thread) StackWatermark() uint32 { return t.peakUsed }
+
+// irqEnabled reports whether the thread currently takes interrupts.
+func (t *Thread) irqEnabled() bool { return t.irqDisable == 0 }
+
+// yield parks the thread and transfers control to the kernel goroutine.
+// It returns when the kernel dispatches the thread again.
+func (t *Thread) yield(kind yieldKind) {
+	t.kernel.yieldCh <- yieldMsg{t: t, kind: kind}
+	if act := <-t.resume; act == resumeKill {
+		panic(killSentinel{})
+	}
+}
+
+// maybePreempt is the preemption point embedded in every context
+// operation: with interrupts enabled and either a pending IRQ or an
+// expired quantum, the thread traps into the switcher.
+func (t *Thread) maybePreempt() {
+	if !t.irqEnabled() {
+		return
+	}
+	if t.kernel.Core.IRQPending() || t.kernel.needResched ||
+		t.kernel.Core.Clock.Cycles() >= t.sliceEnd {
+		t.kernel.needResched = false
+		t.yield(yieldPreempt)
+	}
+}
+
+// start spawns the thread goroutine, parked until first dispatch.
+func (t *Thread) start(comp string, entry string) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); ok {
+					return
+				}
+				// A non-trap panic is a simulator bug: surface it in the
+				// kernel goroutine where tests can see it.
+				t.kernel.fatal = fmt.Errorf("thread %q panicked: %v", t.Name, r)
+				t.state = StateExited
+				t.kernel.yieldCh <- yieldMsg{t: t, kind: yieldExited}
+			}
+		}()
+		if act := <-t.resume; act == resumeKill {
+			return
+		}
+		t.state = StateRunning
+		_, err := t.kernel.compartmentCall(t, nil, comp, entry, nil)
+		if f, ok := err.(*Fault); ok {
+			t.exitFault = f.Trap
+		}
+		t.state = StateExited
+		t.kernel.yieldCh <- yieldMsg{t: t, kind: yieldExited}
+	}()
+}

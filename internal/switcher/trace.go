@@ -1,0 +1,111 @@
+package switcher
+
+import "fmt"
+
+// TraceKind classifies kernel trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceSwitch TraceKind = iota // context switch to Thread
+	TraceCall                    // compartment call From -> To.Entry
+	TraceReturn                  // return from To back into From
+	TraceTrap                    // trap in To (Detail = cause)
+	TraceUnwind                  // forced or fault unwind out of To
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSwitch:
+		return "switch"
+	case TraceCall:
+		return "call"
+	case TraceReturn:
+		return "return"
+	case TraceTrap:
+		return "trap"
+	case TraceUnwind:
+		return "unwind"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent is one kernel event: the debug-utilities view of what the
+// switcher did and when (simulated cycles).
+type TraceEvent struct {
+	Cycle  uint64
+	Kind   TraceKind
+	Thread string
+	From   string
+	To     string
+	Entry  string
+	Detail string
+}
+
+// String renders the event for log output.
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TraceSwitch:
+		return fmt.Sprintf("%10d  switch  -> %s", e.Cycle, e.Thread)
+	case TraceCall:
+		return fmt.Sprintf("%10d  call    [%s] %s -> %s.%s", e.Cycle, e.Thread, e.From, e.To, e.Entry)
+	case TraceReturn:
+		return fmt.Sprintf("%10d  return  [%s] %s.%s -> %s", e.Cycle, e.Thread, e.To, e.Entry, e.From)
+	case TraceTrap:
+		return fmt.Sprintf("%10d  trap    [%s] in %s: %s", e.Cycle, e.Thread, e.To, e.Detail)
+	case TraceUnwind:
+		return fmt.Sprintf("%10d  unwind  [%s] out of %s", e.Cycle, e.Thread, e.To)
+	default:
+		return fmt.Sprintf("%10d  ?", e.Cycle)
+	}
+}
+
+// tracer is a fixed-capacity ring of kernel events.
+type tracer struct {
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+// EnableTrace starts recording up to capacity kernel events in a ring
+// buffer. Tracing is a debug utility: it costs nothing when disabled and
+// never affects simulated time.
+func (k *Kernel) EnableTrace(capacity int) {
+	if capacity <= 0 {
+		k.trace = nil
+		return
+	}
+	k.trace = &tracer{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Trace returns the recorded events in chronological order.
+func (k *Kernel) Trace() []TraceEvent {
+	if k.trace == nil {
+		return nil
+	}
+	t := k.trace
+	if !t.full {
+		return append([]TraceEvent(nil), t.buf...)
+	}
+	out := make([]TraceEvent, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// record appends one event to the ring.
+func (k *Kernel) record(ev TraceEvent) {
+	t := k.trace
+	if t == nil {
+		return
+	}
+	ev.Cycle = k.Core.Clock.Cycles()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.next] = ev
+	t.next = (t.next + 1) % len(t.buf)
+	t.full = true
+}

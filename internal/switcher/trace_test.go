@@ -1,0 +1,123 @@
+package switcher_test
+
+import (
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/core"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/switcher"
+)
+
+func TestKernelTrace(t *testing.T) {
+	img := core.NewImage("trace")
+	img.AddCompartment(&firmware.Compartment{
+		Name: "svc", CodeSize: 128, DataSize: 0,
+		Exports: []*firmware.Export{
+			{Name: "ok", MinStack: 64, Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				return api.EV(api.OK)
+			}},
+			{Name: "crash", MinStack: 64, Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				ctx.Fault(hw.TrapIllegalInstruction, "x")
+				return nil
+			}},
+		},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 128, DataSize: 0,
+		Imports: []firmware.Import{
+			{Kind: firmware.ImportCall, Target: "svc", Entry: "ok"},
+			{Kind: firmware.ImportCall, Target: "svc", Entry: "crash"},
+		},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 256,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				_, _ = ctx.Call("svc", "ok")
+				_, _ = ctx.Call("svc", "crash")
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 8})
+	s := boot(t, img)
+	s.Kernel.EnableTrace(64)
+	run(t, s)
+
+	events := s.Kernel.Trace()
+	if len(events) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// Project to (kind, to) pairs and look for the expected story.
+	var story []string
+	for _, e := range events {
+		switch e.Kind {
+		case switcher.TraceCall:
+			if e.To == "svc" {
+				story = append(story, "call:"+e.Entry)
+			}
+		case switcher.TraceReturn:
+			if e.To == "svc" {
+				story = append(story, "return:"+e.Entry)
+			}
+		case switcher.TraceTrap:
+			story = append(story, "trap:"+e.Detail)
+		case switcher.TraceUnwind:
+			story = append(story, "unwind:"+e.To)
+		}
+	}
+	want := []string{"call:ok", "return:ok", "call:crash", "trap:illegal instruction", "unwind:svc"}
+	if len(story) != len(want) {
+		t.Fatalf("story = %v, want %v", story, want)
+	}
+	for i := range want {
+		if story[i] != want[i] {
+			t.Fatalf("story = %v, want %v", story, want)
+		}
+	}
+	// Cycles are monotone.
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatal("trace cycles not monotone")
+		}
+	}
+	// Events render without panicking.
+	for _, e := range events {
+		if e.String() == "" {
+			t.Fatal("empty render")
+		}
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	img := core.NewImage("trace-ring")
+	img.AddCompartment(&firmware.Compartment{
+		Name: "svc", CodeSize: 64, DataSize: 0,
+		Exports: []*firmware.Export{{Name: "ok", MinStack: 0,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value { return nil }}},
+	})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "main", CodeSize: 64, DataSize: 0,
+		Imports: []firmware.Import{{Kind: firmware.ImportCall, Target: "svc", Entry: "ok"}},
+		Exports: []*firmware.Export{{Name: "main", MinStack: 64,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				for i := 0; i < 50; i++ {
+					_, _ = ctx.Call("svc", "ok")
+				}
+				return nil
+			}}},
+	})
+	img.AddThread(&firmware.Thread{Name: "t", Compartment: "main", Entry: "main",
+		Priority: 1, StackSize: 1024, TrustedStackFrames: 4})
+	s := boot(t, img)
+	s.Kernel.EnableTrace(16)
+	run(t, s)
+	events := s.Kernel.Trace()
+	if len(events) != 16 {
+		t.Fatalf("ring holds %d events, want capacity 16", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			t.Fatal("wrapped trace out of order")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+# Integrator policy for the IoT device firmware (§4, §5.3.3).
+#
+# Check with:
+#   go run ./cmd/cheriot-audit -demo > /tmp/fw.json
+#   go run ./cmd/cheriot-audit -report /tmp/fw.json -policy policies/iot-device.rego
+
+# Exactly one compartment may reconfigure the firewall and reach sockets:
+# the network API (Fig. 4's property, generalized).
+rule single_firewall_configurer {
+	count(compartments_calling_entry("firewall", "fw_allow")) == 1
+}
+rule netapi_is_the_configurer {
+	contains(compartments_calling_entry("firewall", "fw_allow"), "netapi")
+}
+
+# Only the firewall compartment touches the NIC registers; only the
+# console-free deployment's app touches the LEDs; only the monitor-free
+# TCB schedules. Device access is the clearest supply-chain tripwire.
+rule nic_exclusive {
+	count(compartments_with_mmio("net")) == 1 &&
+	contains(compartments_with_mmio("net"), "firewall")
+}
+rule led_exclusive {
+	count(compartments_with_mmio("led")) == 1 &&
+	contains(compartments_with_mmio("led"), "jsapp")
+}
+
+# The JavaScript application must not bypass the stack: it may talk to
+# DNS, SNTP, MQTT and the scheduler, but never to the firewall, TCP/IP,
+# or raw sockets.
+rule jsapp_cannot_touch_firewall {
+	!contains(compartments_calling("firewall"), "jsapp")
+}
+rule jsapp_cannot_touch_tcpip {
+	!contains(compartments_calling("tcpip"), "jsapp")
+}
+rule jsapp_no_raw_sockets {
+	# Bringing the interface up is fine; sockets are not.
+	!contains(compartments_calling_entry("netapi", "network_socket_connect_tcp"), "jsapp") &&
+	!contains(compartments_calling_entry("netapi", "network_socket_connect_udp"), "jsapp") &&
+	!contains(compartments_calling_entry("netapi", "network_socket_send"), "jsapp") &&
+	!contains(compartments_calling_entry("netapi", "network_socket_recv"), "jsapp")
+}
+
+# Availability: the sum of all allocation quotas must fit the heap, and
+# the fault-prone TCP/IP compartment must have an error handler.
+rule quotas_fit_heap {
+	sum_quotas() <= heap_size()
+}
+rule tcpip_is_fault_tolerant {
+	has_error_handler("tcpip")
+}
+
+# Interrupt posture is auditable (§2.1): only the scheduler's entry points
+# and the lock/queue libraries may run with interrupts disabled.
+rule bounded_irq_disable {
+	count(exports_with_posture("disabled")) <= 16
+}
