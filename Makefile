@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test bench check trace
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Formatting + vet + full suite under the race detector.
+check:
+	sh scripts/check.sh
+
+# Chrome trace of the IoT case study (open in chrome://tracing / Perfetto).
+trace:
+	$(GO) run ./cmd/cheriot-trace -format chrome -o trace.json

@@ -12,6 +12,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/core"
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 // Capability is a CHERIoT capability: a tagged, bounded, permissioned,
@@ -99,6 +100,16 @@ const (
 
 // System is a booted machine.
 type System = core.System
+
+// Telemetry types: enable with System.EnableTelemetry, read counters and
+// per-compartment cycle attribution from the Registry, and export it as a
+// table, JSON snapshot, or Chrome trace_event file.
+type (
+	Telemetry         = telemetry.Registry
+	TelemetrySnapshot = telemetry.Snapshot
+	TelemetryEvent    = telemetry.Event
+	TelemetryKind     = telemetry.Kind
+)
 
 // NewImage returns an empty firmware image with the paper's default board
 // parameters (256 KiB SRAM, 33 MHz).

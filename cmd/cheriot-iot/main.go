@@ -23,6 +23,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit per-second CPU-load samples as CSV")
 	printReport := flag.Bool("report", false, "also print the firmware audit report")
 	trace := flag.Int("trace", 0, "record and print the last N kernel events")
+	metrics := flag.Bool("metrics", false, "enable telemetry and print the cycle-attribution table after the run")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (implies -metrics collection)")
 	flag.Parse()
 
 	app, err := iotapp.Build()
@@ -30,6 +32,22 @@ func main() {
 		log.Fatalf("build: %v", err)
 	}
 	defer app.Shutdown()
+	// Open the trace file before the run: a bad path should not cost a
+	// full simulation.
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+	}
+	if *metrics || *traceOut != "" {
+		capacity := 0
+		if *traceOut != "" {
+			capacity = 1 << 16
+		}
+		app.Sys.EnableTelemetry(capacity)
+	}
 	if *trace > 0 {
 		app.Sys.Kernel.EnableTrace(*trace)
 		defer func() {
@@ -49,6 +67,19 @@ func main() {
 	res, err := app.Run()
 	if err != nil {
 		log.Fatalf("run: %v", err)
+	}
+
+	if traceFile != nil {
+		if err := app.Sys.Telemetry().WriteChromeTrace(traceFile); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+	if *metrics {
+		defer app.Sys.Telemetry().WriteTable(os.Stdout)
 	}
 
 	if *csv {

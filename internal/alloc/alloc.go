@@ -18,6 +18,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/loader"
 	"github.com/cheriot-go/cheriot/internal/switcher"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 // Name is the allocator's compartment name.
@@ -92,6 +93,15 @@ type Alloc struct {
 	// stats for the evaluation harness
 	allocCount, freeCount uint64
 	sweepWaits            uint64
+}
+
+// tel returns the kernel's telemetry registry (nil when disabled); every
+// handle derived from it is nil-safe.
+func (a *Alloc) tel() *telemetry.Registry {
+	if a.k == nil {
+		return nil
+	}
+	return a.k.Telemetry()
 }
 
 // New returns an unattached allocator.
@@ -244,6 +254,10 @@ func (a *Alloc) drainQuarantine(max int) {
 		a.k.Core.Tick(uint64(e.size/granule) * hw.RevBitCyclesPerGranule)
 		a.giveFree(e.base, e.size)
 		released++
+		if tel := a.tel(); tel != nil {
+			tel.Gauge(Name, "quarantine_bytes").Add(-int64(e.size))
+			tel.Counter(Name, "quarantine_released").Inc()
+		}
 	}
 	// Keep the revoker busy while there is anything left to reclaim.
 	if len(a.quarantine) > 0 && !rev.Running() {
@@ -288,6 +302,10 @@ func (a *Alloc) quarantineRange(base, size uint32) {
 	a.k.Core.Mem.Revoke(base, size)
 	a.k.Core.Tick(uint64(size/granule) * hw.RevBitCyclesPerGranule)
 	a.quarantine = append(a.quarantine, qEntry{base: base, size: size, epoch: a.k.Core.Revoker.Epoch()})
+	if tel := a.tel(); tel != nil {
+		tel.Gauge(Name, "quarantine_bytes").Add(int64(size))
+		tel.Emit(telemetry.Event{Kind: telemetry.KindQuarantine, To: Name, Arg: uint64(size)})
+	}
 	if !a.k.Core.Revoker.Running() {
 		a.k.Core.Revoker.Request()
 	}

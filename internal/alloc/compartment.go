@@ -6,6 +6,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/sched"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 // Entry point names exported by the allocator compartment.
@@ -106,6 +107,12 @@ func (a *Alloc) allocate(ctx api.Context, recAddr uint32, q *quota, size uint32)
 		if base, ok := a.takeFree(size); ok {
 			q.used += size
 			a.allocCount++
+			if tel := a.tel(); tel != nil {
+				tel.Counter(Name, "mallocs").Inc()
+				tel.Histogram(Name, "size_bytes", telemetry.DefaultSizeBuckets).Observe(uint64(size))
+				tel.Emit(telemetry.Event{Kind: telemetry.KindAlloc,
+					From: q.owner, To: Name, Arg: uint64(size)})
+			}
 			return base, api.OK
 		}
 		if a.totalFreeable() < size || attempt >= maxWaits {
@@ -113,6 +120,7 @@ func (a *Alloc) allocate(ctx api.Context, recAddr uint32, q *quota, size uint32)
 		}
 		// Block until the revoker makes progress, then drain and retry.
 		a.sweepWaits++
+		a.tel().Counter(Name, "sweep_waits").Inc()
 		rev := a.k.Core.Revoker
 		if !rev.Running() {
 			rev.Request()
@@ -168,6 +176,11 @@ func (a *Alloc) release(ctx api.Context, recAddr uint32, q *quota, meta *allocat
 	ctx.Work(hw.FreeFixedCycles)
 	delete(a.allocs, meta.base)
 	a.freeCount++
+	if tel := a.tel(); tel != nil {
+		tel.Counter(Name, "frees").Inc()
+		tel.Emit(telemetry.Event{Kind: telemetry.KindFree,
+			From: q.owner, To: Name, Arg: uint64(meta.size)})
+	}
 	if hazardCovers(a.k.HazardSlots(), meta.base, meta.size) {
 		// An ephemeral claim pins the object; the free completes when the
 		// claim lapses (§3.2.5).

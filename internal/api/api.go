@@ -11,6 +11,7 @@ package api
 import (
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 // Value is the content of one argument or return register of a compartment
@@ -213,4 +214,10 @@ type Context interface {
 	During(body func(), handler func(t *hw.Trap))
 	// Fault raises a synchronous trap explicitly.
 	Fault(code hw.TrapCode, detail string)
+
+	// Telemetry returns the run's telemetry registry, or nil when telemetry
+	// is disabled. Compartments use it to bump counters, observe histogram
+	// samples, and emit trace events; every registry handle is nil-safe, so
+	// instrumented code needs no enabled check.
+	Telemetry() *telemetry.Registry
 }

@@ -17,6 +17,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/loader"
 	"github.com/cheriot-go/cheriot/internal/sched"
 	"github.com/cheriot-go/cheriot/internal/switcher"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 	"github.com/cheriot-go/cheriot/internal/token"
 )
 
@@ -68,6 +69,36 @@ func Boot(img *firmware.Image) (*System, error) {
 	s.Alloc.Attach(s.Kernel, boot.Quotas)
 	return s, nil
 }
+
+// EnableTelemetry turns on the unified telemetry layer: per-compartment
+// cycle accounting (sums exactly to the cycles elapsed from this call),
+// counters and histograms from the kernel, allocator, scheduler, and
+// netstack, and — when traceCapacity > 0 — an event ring shared with the
+// kernel's trace facility, exportable as a table, JSON snapshot, or Chrome
+// trace_event file. It returns the registry.
+func (s *System) EnableTelemetry(traceCapacity int) *telemetry.Registry {
+	clock := s.Board.Core.Clock
+	r := telemetry.NewRegistry(clock.Hz())
+	r.SetNow(clock.Cycles)
+	if traceCapacity > 0 {
+		r.EnableTrace(traceCapacity)
+	}
+	s.Kernel.EnableTelemetry(r)
+	rev := s.Board.Core.Revoker
+	sweeps := r.Counter(alloc.Name, "revoker_sweeps")
+	rev.SetSweepHook(func(start bool, epoch uint64) {
+		if start {
+			r.Emit(telemetry.Event{Kind: telemetry.KindRevokerStart, Arg: epoch})
+			return
+		}
+		sweeps.Inc()
+		r.Emit(telemetry.Event{Kind: telemetry.KindRevokerDone, Arg: epoch})
+	})
+	return r
+}
+
+// Telemetry returns the registry installed by EnableTelemetry, or nil.
+func (s *System) Telemetry() *telemetry.Registry { return s.Kernel.Telemetry() }
 
 // Run drives the machine until every thread exits, stop returns true, or
 // the system deadlocks.

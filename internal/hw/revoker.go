@@ -19,6 +19,16 @@ type Revoker struct {
 	queued   bool   // a sweep was requested while one was running
 	rate     uint64 // cycles per granule
 	onDone   func() // raises IRQRevoker
+
+	// onSweep, when set, observes sweep lifecycle for the telemetry layer:
+	// called with start=true when a sweep begins and start=false when it
+	// completes, with the epoch after the transition.
+	onSweep func(start bool, epoch uint64)
+}
+
+// SetSweepHook installs (or clears, with nil) the sweep observer.
+func (r *Revoker) SetSweepHook(hook func(start bool, epoch uint64)) {
+	r.onSweep = hook
 }
 
 // NewRevoker returns an idle revoker over m at the default sweep rate.
@@ -52,6 +62,9 @@ func (r *Revoker) Request() {
 	r.epoch++ // becomes odd: sweeping
 	r.sweepPtr = 0
 	r.budget = 0
+	if r.onSweep != nil {
+		r.onSweep(true, r.epoch)
+	}
 }
 
 // Step advances the revoker by the given number of CPU cycles.
@@ -68,6 +81,9 @@ func (r *Revoker) Step(cycles uint64) {
 	r.sweepPtr = r.mem.SweepGranules(r.sweepPtr, granules)
 	if r.sweepPtr >= r.mem.Granules() {
 		r.epoch++ // becomes even: idle
+		if r.onSweep != nil {
+			r.onSweep(false, r.epoch)
+		}
 		if r.onDone != nil {
 			r.onDone()
 		}

@@ -1,0 +1,100 @@
+package iotapp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTelemetryChromeTrace runs the full §5.3.3 case study with the
+// unified telemetry layer on and checks the two end-to-end properties the
+// exporters promise: the cycle attribution sums exactly to the clock, and
+// the Chrome trace_event export is valid JSON carrying balanced slices
+// from every instrumented layer (kernel, scheduler, allocator, netstack).
+func TestTelemetryChromeTrace(t *testing.T) {
+	app, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	defer app.Shutdown()
+	reg := app.Sys.EnableTelemetry(1 << 16)
+	if _, err := app.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	elapsed := app.Sys.Cycles() - reg.Base()
+	if got := reg.AttributedCycles(); got != elapsed {
+		t.Fatalf("attributed %d cycles, clock advanced %d", got, elapsed)
+	}
+
+	// Every instrumented layer contributed metrics during the scenario.
+	snap := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Compartment+"/"+c.Metric] = c.Value
+	}
+	for _, want := range []string{
+		"<switcher>/compartment_calls", // kernel
+		"sched/futex_waits",            // scheduler
+		"alloc/mallocs",                // allocator
+		"tcpip/rx_frames",              // netstack
+	} {
+		if counters[want] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", want, counters[want])
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	begins, ends := 0, 0
+	cats := map[string]int{}
+	lastTs := map[int]float64{}
+	for _, e := range trace.TraceEvents {
+		switch e.Ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "i", "M":
+		default:
+			t.Fatalf("unexpected phase %q in event %q", e.Ph, e.Name)
+		}
+		if e.Ph != "M" {
+			cats[e.Cat]++
+			if ts, ok := lastTs[e.Tid]; ok && e.Ts < ts {
+				t.Fatalf("timestamps regress on tid %d: %f after %f", e.Tid, e.Ts, ts)
+			}
+			lastTs[e.Tid] = e.Ts
+		}
+	}
+	if begins != ends {
+		t.Fatalf("unbalanced duration slices: %d B vs %d E", begins, ends)
+	}
+	if begins == 0 {
+		t.Fatal("no duration slices recorded")
+	}
+	for _, layer := range []string{"kernel", "sched", "alloc", "net"} {
+		if cats[layer] == 0 {
+			t.Errorf("no chrome events from layer %q", layer)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/libs"
 	"github.com/cheriot-go/cheriot/internal/netproto"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 	"github.com/cheriot-go/cheriot/internal/token"
 )
 
@@ -187,6 +188,12 @@ func mqttPublish(ctx api.Context, args []api.Value) []api.Value {
 	tls, errno := mqttTLS(ctx, args[0].Cap)
 	if errno != api.OK {
 		return api.EV(errno)
+	}
+	if tel := ctx.Telemetry(); tel != nil {
+		tel.Counter(MQTT, "publishes").Inc()
+		tel.Emit(telemetry.Event{Kind: telemetry.KindSend,
+			From: ctx.Caller(), To: MQTT, Entry: FnMQTTPublish,
+			Arg: uint64(payloadBuf.Length())})
 	}
 	_, errno = exchange(ctx, tls, netproto.MQTTPacket{
 		Type:    netproto.MQTTPublish,

@@ -5,6 +5,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 // Entry point names exported by the scheduler compartment. Compartments
@@ -75,6 +76,11 @@ func (s *Sched) futexWait(ctx api.Context, args []api.Value) []api.Value {
 		return api.EV(api.OK) // the word moved: no sleep, caller re-checks
 	}
 	t := s.k.ThreadByID(ctx.ThreadID())
+	if tel := ctx.Telemetry(); tel != nil {
+		tel.Counter(Name, "futex_waits").Inc()
+		tel.Emit(telemetry.Event{Kind: telemetry.KindFutexWait,
+			Thread: t.Name, From: ctx.Caller(), Arg: uint64(word.Address())})
+	}
 	w := &waiter{t: t, addrs: []uint32{word.Address()}, wokenBy: noWaker}
 	s.register(w)
 	if timeout > 0 {
@@ -175,6 +181,11 @@ func (s *Sched) sleep(ctx api.Context, args []api.Value) []api.Value {
 	}
 	n := uint64(args[0].AsWord())
 	t := s.k.ThreadByID(ctx.ThreadID())
+	if tel := ctx.Telemetry(); tel != nil {
+		tel.Counter(Name, "sleeps").Inc()
+		tel.Emit(telemetry.Event{Kind: telemetry.KindSleep,
+			Thread: t.Name, From: ctx.Caller(), Arg: n})
+	}
 	w := &waiter{t: t, wokenBy: noWaker}
 	s.register(w)
 	s.k.Core.After(n, func() {

@@ -62,6 +62,16 @@ func (k *Kernel) compartmentCall(t *Thread, caller *Comp, target, entry string, 
 	}
 
 	k.compCallCount++
+	k.ctrCalls.Inc()
+	// Everything the switcher does on the transition — validation already
+	// done above (it never ticks), the base call cost, and stack zeroing on
+	// both paths — is attributed to the "<switcher>" pseudo-domain; the
+	// callee's account is installed only while its entry runs.
+	telOn := k.tel != nil
+	var prevAcct *uint64
+	if telOn {
+		prevAcct = k.Core.Clock.SetCompAccount(k.telSwitcher.Slot())
+	}
 	k.Core.Tick(hw.CallBaseCycles)
 	callerName := ""
 	if caller != nil {
@@ -105,7 +115,13 @@ func (k *Kernel) compartmentCall(t *Thread, caller *Comp, target, entry string, 
 	}
 	t.frames = append(t.frames, fr)
 
+	if telOn && callee.acct != nil {
+		k.Core.Clock.SetCompAccount(callee.acct.Slot())
+	}
 	rets, fault := k.runEntry(t, callee, exp, args)
+	if telOn {
+		k.Core.Clock.SetCompAccount(k.telSwitcher.Slot())
+	}
 
 	// Return path: scrub callee secrets, pop the trusted-stack frame,
 	// restore the caller's stack pointer and interrupt posture.
@@ -127,7 +143,11 @@ func (k *Kernel) compartmentCall(t *Thread, caller *Comp, target, entry string, 
 		delete(t.evict, target) // the eviction completed
 	}
 
+	if telOn {
+		k.Core.Clock.SetCompAccount(prevAcct)
+	}
 	if fault != nil {
+		k.ctrUnwinds.Inc()
 		k.record(TraceEvent{Kind: TraceUnwind, Thread: t.Name, To: target})
 		return nil, &Fault{Trap: fault, Compartment: target}
 	}
@@ -159,6 +179,13 @@ func (k *Kernel) runEntry(t *Thread, callee *Comp, exp *firmware.Export, args []
 		if fault == nil {
 			return rets, nil
 		}
+		if k.tel != nil && callee.acct != nil {
+			// The panic may have unwound past a nested transition that left
+			// the clock pointing elsewhere; fault handling — handler runs
+			// and unwind cost — is charged to the faulting compartment.
+			k.Core.Clock.SetCompAccount(callee.acct.Slot())
+		}
+		k.ctrTraps.Inc()
 		k.record(TraceEvent{Kind: TraceTrap, Thread: t.Name,
 			To: callee.Name(), Detail: fault.Code.String()})
 		// A forced unwind (micro-reboot) always tears the thread out; the

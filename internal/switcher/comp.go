@@ -3,6 +3,7 @@ package switcher
 import (
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 // Comp is a compartment at run time: its firmware definition plus the
@@ -38,6 +39,11 @@ type Comp struct {
 	// globalsSnapshot is the boot-time content of the data region, for
 	// micro-reboot step 4.
 	globalsSnapshot []byte
+
+	// acct is the compartment's telemetry cycle account (nil when telemetry
+	// is disabled); the switcher installs it in the clock whenever this
+	// compartment is on top of the running thread's trusted stack.
+	acct *telemetry.CycleAccount
 }
 
 // CompConfig is everything the loader derived for a compartment.

@@ -6,6 +6,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/api"
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 // ctx implements api.Context for one compartment-call frame. Every memory
@@ -46,6 +47,11 @@ func (c *ctx) trapIf(err error, addr uint32) {
 
 // Compartment implements api.Context.
 func (c *ctx) Compartment() string { return c.comp.Name() }
+
+// Telemetry implements api.Context. All registry handles are nil-safe, so
+// compartment code instruments unconditionally and pays one nil check when
+// telemetry is disabled.
+func (c *ctx) Telemetry() *telemetry.Registry { return c.k.tel }
 
 // Caller implements api.Context, reading the trusted stack.
 func (c *ctx) Caller() string {

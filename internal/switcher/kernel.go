@@ -7,6 +7,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 // Scheduler is the policy half of the TCB's scheduling split: the switcher
@@ -67,8 +68,24 @@ type Kernel struct {
 	// used. Isolation is preserved; only redundant zeroing is elided.
 	lazyZeroing bool
 
-	// trace, when enabled, records kernel events (debug utilities).
-	trace *tracer
+	// ring, when enabled, records kernel events (debug utilities). When
+	// telemetry is enabled it is the registry's ring, so kernel events and
+	// allocator/scheduler/netstack events interleave in one timeline.
+	ring *telemetry.Ring
+
+	// tel, when non-nil, is the unified telemetry registry: per-compartment
+	// cycle accounts (swapped into the clock at every domain transition),
+	// kernel counters, and the shared event ring. All handles below are
+	// nil-safe, so the disabled path is a single k.tel == nil check.
+	tel         *telemetry.Registry
+	telSwitcher *telemetry.CycleAccount // "<switcher>" pseudo-domain
+	telSched    *telemetry.CycleAccount // "<sched>" pseudo-domain
+	telIdle     *telemetry.CycleAccount // "<idle>" pseudo-domain
+	ctrCalls    *telemetry.Counter
+	ctrSwitches *telemetry.Counter
+	ctrTraps    *telemetry.Counter
+	ctrUnwinds  *telemetry.Counter
+	ctrPreempts *telemetry.Counter
 
 	// Accounting for the evaluation harness.
 	idleCycles    uint64
@@ -108,7 +125,12 @@ func (k *Kernel) SetStackZeroing(on bool) { k.stackZeroing = on }
 func (k *Kernel) SetLazyStackZeroing(on bool) { k.lazyZeroing = on }
 
 // AddComp registers a runtime compartment built by the loader.
-func (k *Kernel) AddComp(c *Comp) { k.comps[c.Name()] = c }
+func (k *Kernel) AddComp(c *Comp) {
+	k.comps[c.Name()] = c
+	if k.tel != nil {
+		c.acct = k.tel.Account(c.Name())
+	}
+}
 
 // AddLib registers a runtime shared library built by the loader.
 func (k *Kernel) AddLib(l *Lib) { k.libs[l.Name()] = l }
@@ -181,9 +203,74 @@ func (k *Kernel) AddThread(def *firmware.Thread, layout firmware.ThreadLayout) *
 	}
 	t.stackCap = cap.New(layout.Stack.Base, layout.Stack.Top(), layout.Stack.Base, cap.PermStack)
 	t.dirtyFloor = layout.Stack.Top() // boot-zeroed: the whole stack is clean
+	if k.tel != nil {
+		t.acct = k.tel.ThreadAccount(t.Name)
+	}
 	k.threads = append(k.threads, t)
 	t.start(def.Compartment, def.Entry)
 	return t
+}
+
+// EnableTelemetry attaches a telemetry registry to the kernel. From this
+// point every cycle the clock advances is attributed to the compartment on
+// top of the running thread's trusted stack (or to the "<switcher>",
+// "<sched>", or "<idle>" pseudo-domains), per-compartment accounts sum
+// exactly to the clock delta since enabling, and kernel counters mirror
+// into the registry. Pass nil to detach.
+func (k *Kernel) EnableTelemetry(r *telemetry.Registry) {
+	k.tel = r
+	if r == nil {
+		k.telSwitcher, k.telSched, k.telIdle = nil, nil, nil
+		k.ctrCalls, k.ctrSwitches, k.ctrTraps, k.ctrUnwinds, k.ctrPreempts = nil, nil, nil, nil, nil
+		k.Core.Clock.SetCompAccount(nil)
+		k.Core.Clock.SetThreadAccount(nil)
+		for _, c := range k.comps {
+			c.acct = nil
+		}
+		for _, t := range k.threads {
+			t.acct = nil
+		}
+		return
+	}
+	r.SetNow(k.Core.Clock.Cycles)
+	r.SetBase(k.Core.Clock.Cycles())
+	k.telSwitcher = r.Account(telemetry.DomainSwitcher)
+	k.telSched = r.Account(telemetry.DomainSched)
+	k.telIdle = r.Account(telemetry.DomainIdle)
+	k.ctrCalls = r.Counter(telemetry.DomainSwitcher, "compartment_calls")
+	k.ctrSwitches = r.Counter(telemetry.DomainSwitcher, "context_switches")
+	k.ctrTraps = r.Counter(telemetry.DomainSwitcher, "traps")
+	k.ctrUnwinds = r.Counter(telemetry.DomainSwitcher, "unwinds")
+	k.ctrPreempts = r.Counter(telemetry.DomainSched, "preemptions")
+	for _, c := range k.comps {
+		c.acct = r.Account(c.Name())
+	}
+	for _, t := range k.threads {
+		t.acct = r.ThreadAccount(t.Name)
+	}
+	if ring := r.Ring(); ring != nil {
+		k.ring = ring
+	} else if k.ring != nil {
+		r.AttachRing(k.ring)
+	}
+	// Until the first dispatch, time belongs to the switcher.
+	k.Core.Clock.SetCompAccount(k.telSwitcher.Slot())
+}
+
+// Telemetry returns the attached registry, or nil when disabled.
+func (k *Kernel) Telemetry() *telemetry.Registry { return k.tel }
+
+// tickAs charges n cycles to the given pseudo-domain account instead of
+// whatever compartment account is installed; with telemetry disabled it is
+// a plain Tick.
+func (k *Kernel) tickAs(a *telemetry.CycleAccount, n uint64) {
+	if k.tel == nil {
+		k.Core.Tick(n)
+		return
+	}
+	prev := k.Core.Clock.SetCompAccount(a.Slot())
+	k.Core.Tick(n)
+	k.Core.Clock.SetCompAccount(prev)
 }
 
 // Stats reports the kernel's accounting counters.
@@ -244,7 +331,17 @@ func (k *Kernel) Run(stop func() bool) error {
 		if t == nil {
 			if deadline, ok := k.Core.NextEvent(); ok {
 				before := k.Core.Clock.Cycles()
-				k.Core.SkipTo(deadline)
+				if k.tel != nil {
+					// Idle time belongs to no thread and to the "<idle>"
+					// pseudo-domain.
+					prevT := k.Core.Clock.SetThreadAccount(nil)
+					prevC := k.Core.Clock.SetCompAccount(k.telIdle.Slot())
+					k.Core.SkipTo(deadline)
+					k.Core.Clock.SetCompAccount(prevC)
+					k.Core.Clock.SetThreadAccount(prevT)
+				} else {
+					k.Core.SkipTo(deadline)
+				}
 				k.idleCycles += k.Core.Clock.Cycles() - before
 				continue
 			}
@@ -256,16 +353,36 @@ func (k *Kernel) Run(stop func() bool) error {
 		if t.state == StateExited {
 			continue // stale queue entry
 		}
+		if k.tel != nil {
+			k.Core.Clock.SetThreadAccount(t.acct.Slot())
+		}
 		if t != k.lastRun {
-			k.Core.Tick(hw.ContextRestoreCycles)
+			// The restore itself is switcher work.
+			k.tickAs(k.telSwitcher, hw.ContextRestoreCycles)
 			k.switchCount++
+			k.ctrSwitches.Inc()
 			k.record(TraceEvent{Kind: TraceSwitch, Thread: t.Name})
 		}
 		t.state = StateRunning
 		t.sliceEnd = k.Core.Clock.Cycles() + k.sched.Quantum()
 		k.lastRun = t
+		if k.tel != nil {
+			// While the thread runs, its time belongs to the compartment on
+			// top of its trusted stack (the switcher for a fresh thread that
+			// has not entered one yet; compartmentCall re-points the slot at
+			// every call boundary).
+			if c := t.currentComp(); c != nil && c.acct != nil {
+				k.Core.Clock.SetCompAccount(c.acct.Slot())
+			} else {
+				k.Core.Clock.SetCompAccount(k.telSwitcher.Slot())
+			}
+		}
 		t.resume <- resumeRun
 		msg := <-k.yieldCh
+		if k.tel != nil {
+			// Back in the kernel goroutine: time is the switcher's again.
+			k.Core.Clock.SetCompAccount(k.telSwitcher.Slot())
+		}
 		if k.fatal != nil {
 			panic(k.fatal)
 		}
@@ -275,9 +392,13 @@ func (k *Kernel) Run(stop func() bool) error {
 		case yieldBlocked:
 			// The scheduler recorded what the thread waits on; charge the
 			// decision it just made.
-			k.Core.Tick(hw.SchedulerDecideCycles)
+			k.tickAs(k.telSched, hw.SchedulerDecideCycles)
 		case yieldPreempt, yieldVoluntary:
-			k.Core.Tick(hw.TrapEntryCycles + hw.SchedulerEnterCycles + hw.SchedulerDecideCycles)
+			k.ctrPreempts.Inc()
+			// Trap entry is switcher work; entering the scheduler
+			// compartment and picking the next thread is the scheduler's.
+			k.tickAs(k.telSwitcher, hw.TrapEntryCycles)
+			k.tickAs(k.telSched, hw.SchedulerEnterCycles+hw.SchedulerDecideCycles)
 			msg.t.state = StateReady
 			k.sched.Ready(msg.t)
 		}

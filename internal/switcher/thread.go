@@ -14,6 +14,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 // ThreadState is a thread's lifecycle state.
@@ -114,6 +115,10 @@ type Thread struct {
 	// that compartment pops.
 	evict map[string]bool
 
+	// acct is the thread's telemetry cycle account (nil when telemetry is
+	// disabled); the switcher installs it in the clock at dispatch.
+	acct *telemetry.CycleAccount
+
 	// Scheduling fields owned by the scheduler policy.
 	WakeAt  uint64
 	SchedPD interface{}
@@ -146,6 +151,15 @@ func (t *Thread) CurrentCompartment() string {
 		return ""
 	}
 	return t.frames[len(t.frames)-1].comp.Name()
+}
+
+// currentComp returns the compartment on top of the trusted stack, or nil
+// for a thread with no frames.
+func (t *Thread) currentComp() *Comp {
+	if len(t.frames) == 0 {
+		return nil
+	}
+	return t.frames[len(t.frames)-1].comp
 }
 
 // InCompartment reports whether any frame of the thread is inside the

@@ -1,111 +1,70 @@
 package switcher
 
-import "fmt"
+import "github.com/cheriot-go/cheriot/internal/telemetry"
+
+// The kernel trace ring is now the telemetry layer's event ring
+// (internal/telemetry); this file keeps the original switcher-level API as
+// a thin shim. TraceKind and TraceEvent are aliases, so existing callers
+// (tests, cmd/cheriot-iot) and new telemetry consumers see the same
+// events.
 
 // TraceKind classifies kernel trace events.
-type TraceKind uint8
+type TraceKind = telemetry.Kind
 
-// Trace event kinds.
+// Trace event kinds. The kernel kinds keep their original names; the
+// telemetry package adds allocator, scheduler, and network kinds beyond
+// these.
 const (
-	TraceSwitch TraceKind = iota // context switch to Thread
-	TraceCall                    // compartment call From -> To.Entry
-	TraceReturn                  // return from To back into From
-	TraceTrap                    // trap in To (Detail = cause)
-	TraceUnwind                  // forced or fault unwind out of To
+	TraceSwitch = telemetry.KindSwitch // context switch to Thread
+	TraceCall   = telemetry.KindCall   // compartment call From -> To.Entry
+	TraceReturn = telemetry.KindReturn // return from To back into From
+	TraceTrap   = telemetry.KindTrap   // trap in To (Detail = cause)
+	TraceUnwind = telemetry.KindUnwind // forced or fault unwind out of To
 )
-
-func (k TraceKind) String() string {
-	switch k {
-	case TraceSwitch:
-		return "switch"
-	case TraceCall:
-		return "call"
-	case TraceReturn:
-		return "return"
-	case TraceTrap:
-		return "trap"
-	case TraceUnwind:
-		return "unwind"
-	default:
-		return "?"
-	}
-}
 
 // TraceEvent is one kernel event: the debug-utilities view of what the
 // switcher did and when (simulated cycles).
-type TraceEvent struct {
-	Cycle  uint64
-	Kind   TraceKind
-	Thread string
-	From   string
-	To     string
-	Entry  string
-	Detail string
-}
-
-// String renders the event for log output.
-func (e TraceEvent) String() string {
-	switch e.Kind {
-	case TraceSwitch:
-		return fmt.Sprintf("%10d  switch  -> %s", e.Cycle, e.Thread)
-	case TraceCall:
-		return fmt.Sprintf("%10d  call    [%s] %s -> %s.%s", e.Cycle, e.Thread, e.From, e.To, e.Entry)
-	case TraceReturn:
-		return fmt.Sprintf("%10d  return  [%s] %s.%s -> %s", e.Cycle, e.Thread, e.To, e.Entry, e.From)
-	case TraceTrap:
-		return fmt.Sprintf("%10d  trap    [%s] in %s: %s", e.Cycle, e.Thread, e.To, e.Detail)
-	case TraceUnwind:
-		return fmt.Sprintf("%10d  unwind  [%s] out of %s", e.Cycle, e.Thread, e.To)
-	default:
-		return fmt.Sprintf("%10d  ?", e.Cycle)
-	}
-}
-
-// tracer is a fixed-capacity ring of kernel events.
-type tracer struct {
-	buf  []TraceEvent
-	next int
-	full bool
-}
+type TraceEvent = telemetry.Event
 
 // EnableTrace starts recording up to capacity kernel events in a ring
-// buffer. Tracing is a debug utility: it costs nothing when disabled and
-// never affects simulated time.
+// buffer, resetting any previous ring (events and drop count start over).
+// Tracing is a debug utility: it costs nothing when disabled and never
+// affects simulated time.
+//
+// If telemetry is enabled (EnableTelemetry) the kernel records into the
+// registry's ring instead, alongside allocator/scheduler/netstack events;
+// EnableTrace then re-points the registry's ring too, so both views stay
+// one ring.
 func (k *Kernel) EnableTrace(capacity int) {
 	if capacity <= 0 {
-		k.trace = nil
+		k.ring = nil
+		if k.tel != nil {
+			k.tel.EnableTrace(0)
+		}
 		return
 	}
-	k.trace = &tracer{buf: make([]TraceEvent, 0, capacity)}
+	k.ring = telemetry.NewRing(capacity)
+	if k.tel != nil {
+		// Keep the registry's ring and the kernel's ring one object.
+		k.tel.EnableTrace(0)
+		k.tel.AttachRing(k.ring)
+	}
 }
 
-// Trace returns the recorded events in chronological order.
-func (k *Kernel) Trace() []TraceEvent {
-	if k.trace == nil {
-		return nil
-	}
-	t := k.trace
-	if !t.full {
-		return append([]TraceEvent(nil), t.buf...)
-	}
-	out := make([]TraceEvent, 0, len(t.buf))
-	out = append(out, t.buf[t.next:]...)
-	out = append(out, t.buf[:t.next]...)
-	return out
-}
+// Trace returns the recorded events in chronological order. When the ring
+// wrapped, this is the most recent window; TraceDropped reports how many
+// older events were lost.
+func (k *Kernel) Trace() []TraceEvent { return k.ring.Events() }
 
-// record appends one event to the ring.
+// TraceDropped returns the number of events lost to ring wraparound since
+// the last EnableTrace. Zero means Trace() is the complete record.
+func (k *Kernel) TraceDropped() uint64 { return k.ring.Dropped() }
+
+// record appends one event to the ring, stamping the current cycle.
 func (k *Kernel) record(ev TraceEvent) {
-	t := k.trace
-	if t == nil {
+	if k.ring == nil {
 		return
 	}
 	ev.Cycle = k.Core.Clock.Cycles()
-	if len(t.buf) < cap(t.buf) {
-		t.buf = append(t.buf, ev)
-		return
-	}
-	t.buf[t.next] = ev
-	t.next = (t.next + 1) % len(t.buf)
-	t.full = true
+	k.ring.Record(ev)
 }

@@ -1,6 +1,7 @@
 package switcher_test
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/cheriot-go/cheriot/internal/api"
@@ -8,6 +9,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/switcher"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
 func TestKernelTrace(t *testing.T) {
@@ -119,5 +121,41 @@ func TestTraceRingWraps(t *testing.T) {
 		if events[i].Cycle < events[i-1].Cycle {
 			t.Fatal("wrapped trace out of order")
 		}
+	}
+	// The wrap is not silent: the ring reports how much history it lost.
+	// 50 calls produce at least 100 call/return events, of which 16 are
+	// held, so at least 84 must be counted as dropped.
+	if dropped := s.Kernel.TraceDropped(); dropped < 84 {
+		t.Fatalf("TraceDropped() = %d, want >= 84", dropped)
+	}
+
+	// Re-enabling resets both the events and the drop count.
+	s.Kernel.EnableTrace(16)
+	if got := s.Kernel.Trace(); len(got) != 0 {
+		t.Fatalf("re-EnableTrace kept %d stale events", len(got))
+	}
+	if d := s.Kernel.TraceDropped(); d != 0 {
+		t.Fatalf("re-EnableTrace kept drop count %d", d)
+	}
+}
+
+func TestTraceKindStringsExhaustive(t *testing.T) {
+	// Every trace kind — the original five switcher kinds and the telemetry
+	// layer's allocator/scheduler/netstack additions — must render and
+	// classify; "?" is reserved for out-of-range values.
+	for k := switcher.TraceKind(0); k < telemetry.KindCount; k++ {
+		if k.String() == "?" || k.String() == "" {
+			t.Errorf("TraceKind(%d) has no String rendering", k)
+		}
+		if k.Layer() == "?" || k.Layer() == "" {
+			t.Errorf("TraceKind(%d) = %q has no layer", k, k)
+		}
+		ev := switcher.TraceEvent{Cycle: 1, Kind: k, Thread: "t", From: "a", To: "b", Entry: "e"}
+		if s := ev.String(); strings.HasSuffix(s, "?") {
+			t.Errorf("event with kind %q renders as %q", k, s)
+		}
+	}
+	if telemetry.KindCount.String() != "?" {
+		t.Error("out-of-range kind must render as ?")
 	}
 }

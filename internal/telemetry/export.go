@@ -1,0 +1,289 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// AccountSnapshot is one row of the cycle-attribution table.
+type AccountSnapshot struct {
+	Name   string  `json:"name"`
+	Cycles uint64  `json:"cycles"`
+	Pct    float64 `json:"pct"`
+}
+
+// MetricSnapshot is one exported counter or gauge.
+type MetricSnapshot struct {
+	Compartment string `json:"compartment"`
+	Metric      string `json:"metric"`
+	Value       int64  `json:"value"`
+}
+
+// HistogramSnapshot is one exported histogram.
+type HistogramSnapshot struct {
+	Compartment string   `json:"compartment"`
+	Metric      string   `json:"metric"`
+	Count       uint64   `json:"count"`
+	Sum         uint64   `json:"sum"`
+	Min         uint64   `json:"min"`
+	Max         uint64   `json:"max"`
+	Bounds      []uint64 `json:"bounds"`
+	Counts      []uint64 `json:"counts"`
+}
+
+// Snapshot is the full JSON-exportable state of a registry.
+type Snapshot struct {
+	Hz               uint64              `json:"hz"`
+	BaseCycles       uint64              `json:"base_cycles"`
+	AttributedCycles uint64              `json:"attributed_cycles"`
+	Compartments     []AccountSnapshot   `json:"compartments"`
+	Threads          []AccountSnapshot   `json:"threads"`
+	Counters         []MetricSnapshot    `json:"counters"`
+	Gauges           []MetricSnapshot    `json:"gauges"`
+	Histograms       []HistogramSnapshot `json:"histograms"`
+	TraceEvents      int                 `json:"trace_events"`
+	TraceDropped     uint64              `json:"trace_dropped"`
+}
+
+// Snapshot captures the registry's state in a deterministic, serializable
+// form. Nil-safe (returns a zero snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Hz:               r.hz,
+		BaseCycles:       r.base,
+		AttributedCycles: r.AttributedCycles(),
+		TraceEvents:      r.ring.Len(),
+		TraceDropped:     r.ring.Dropped(),
+	}
+	s.Compartments = accountSnapshots(r.Accounts(), s.AttributedCycles)
+	s.Threads = accountSnapshots(r.ThreadAccounts(), s.AttributedCycles)
+	for _, k := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, MetricSnapshot{
+			Compartment: k.Compartment, Metric: k.Metric,
+			Value: int64(r.counters[k].Value()),
+		})
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, MetricSnapshot{
+			Compartment: k.Compartment, Metric: k.Metric,
+			Value: r.gauges[k].Value(),
+		})
+	}
+	for _, k := range sortedKeys(r.hists) {
+		h := r.hists[k]
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Compartment: k.Compartment, Metric: k.Metric,
+			Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+			Bounds: h.bounds, Counts: h.counts,
+		})
+	}
+	return s
+}
+
+func accountSnapshots(accounts []*CycleAccount, total uint64) []AccountSnapshot {
+	out := make([]AccountSnapshot, 0, len(accounts))
+	for _, a := range accounts {
+		row := AccountSnapshot{Name: a.name, Cycles: a.cycles}
+		if total > 0 {
+			row.Pct = 100 * float64(a.cycles) / float64(total)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteTable writes the human-readable attribution table — the Fig. 6-style
+// breakdown of where every simulated cycle went — followed by per-thread
+// attribution, counters, gauges, and histogram summaries.
+func (r *Registry) WriteTable(w io.Writer) {
+	s := r.Snapshot()
+	fmt.Fprintf(w, "cycle attribution (%d cycles accounted", s.AttributedCycles)
+	if s.BaseCycles > 0 {
+		fmt.Fprintf(w, ", after %d boot cycles", s.BaseCycles)
+	}
+	fmt.Fprintf(w, "):\n")
+	fmt.Fprintf(w, "  %-22s %14s %7s\n", "compartment", "cycles", "share")
+	for _, a := range s.Compartments {
+		fmt.Fprintf(w, "  %-22s %14d %6.2f%%\n", a.Name, a.Cycles, a.Pct)
+	}
+	if len(s.Threads) > 0 {
+		fmt.Fprintf(w, "\nper-thread:\n")
+		for _, a := range s.Threads {
+			fmt.Fprintf(w, "  %-22s %14d %6.2f%%\n", a.Name, a.Cycles, a.Pct)
+		}
+	}
+	if len(s.Counters) > 0 || len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "\nmetrics:\n")
+		for _, m := range s.Counters {
+			fmt.Fprintf(w, "  %-40s %14d\n", m.Compartment+"/"+m.Metric, m.Value)
+		}
+		for _, m := range s.Gauges {
+			fmt.Fprintf(w, "  %-40s %14d (gauge)\n", m.Compartment+"/"+m.Metric, m.Value)
+		}
+	}
+	for _, h := range s.Histograms {
+		mean := float64(0)
+		if h.Count > 0 {
+			mean = float64(h.Sum) / float64(h.Count)
+		}
+		fmt.Fprintf(w, "\nhistogram %s/%s: n=%d min=%d mean=%.1f max=%d\n",
+			h.Compartment, h.Metric, h.Count, h.Min, mean, h.Max)
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(w, "  <=%-8d %8d\n", h.Bounds[i], c)
+			} else {
+				fmt.Fprintf(w, "  +Inf      %8d\n", c)
+			}
+		}
+	}
+	if s.TraceEvents > 0 || s.TraceDropped > 0 {
+		fmt.Fprintf(w, "\ntrace: %d events held, %d dropped\n", s.TraceEvents, s.TraceDropped)
+	}
+}
+
+// chromeEvent is one record of the Chrome trace_event format. Only the
+// fields chrome://tracing and Perfetto need are emitted.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports the event ring in the Chrome trace_event JSON
+// format, loadable in chrome://tracing and Perfetto. Compartment calls and
+// returns become nested duration (B/E) slices per thread; everything else
+// becomes an instant event. Timestamps are microseconds at the registry's
+// clock frequency.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("telemetry: nil registry")
+	}
+	hz := r.hz
+	if hz == 0 {
+		hz = 1_000_000 // degrade gracefully: 1 cycle == 1 us
+	}
+	toUs := func(cycles uint64) float64 { return float64(cycles) * 1e6 / float64(hz) }
+
+	tids := map[string]int{}
+	tid := func(thread string) int {
+		if thread == "" {
+			thread = "<kernel>"
+		}
+		id, ok := tids[thread]
+		if !ok {
+			id = len(tids) + 1
+			tids[thread] = id
+		}
+		return id
+	}
+
+	events := r.ring.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: 1,
+			Args: map[string]any{"name": "cheriot-sim"}},
+	}}
+	// Open B/E nesting per thread so a truncated ring (events dropped at
+	// the front) still yields balanced slices: unmatched returns are
+	// skipped, unmatched calls are closed at the last event's time.
+	depth := map[int]int{}
+	var last uint64
+	for _, e := range events {
+		if e.Cycle > last {
+			last = e.Cycle
+		}
+		t := tid(e.Thread)
+		switch e.Kind {
+		case KindCall:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.To + "." + e.Entry, Cat: e.Kind.Layer(), Ph: "B",
+				Ts: toUs(e.Cycle), Pid: 1, Tid: t,
+				Args: map[string]any{"from": e.From},
+			})
+			depth[t]++
+		case KindReturn, KindUnwind:
+			if depth[t] == 0 {
+				continue // call fell off the wrapped ring
+			}
+			depth[t]--
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.To + "." + e.Entry, Cat: e.Kind.Layer(), Ph: "E",
+				Ts: toUs(e.Cycle), Pid: 1, Tid: t,
+				Args: map[string]any{"unwound": e.Kind == KindUnwind},
+			})
+		default:
+			name := e.Kind.String()
+			if e.Detail != "" {
+				name += " " + e.Detail
+			}
+			args := map[string]any{}
+			if e.To != "" {
+				args["compartment"] = e.To
+			}
+			if e.Arg != 0 {
+				args["arg"] = e.Arg
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: name, Cat: e.Kind.Layer(), Ph: "i",
+				Ts: toUs(e.Cycle), Pid: 1, Tid: t, Scope: "t", Args: args,
+			})
+		}
+	}
+	// Close slices left open by the ring's bounded capacity (in tid order,
+	// so the output is deterministic).
+	openTids := make([]int, 0, len(depth))
+	for t := range depth {
+		openTids = append(openTids, t)
+	}
+	sort.Ints(openTids)
+	for _, t := range openTids {
+		for d := depth[t]; d > 0; d-- {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "(truncated)", Cat: "kernel", Ph: "E",
+				Ts: toUs(last), Pid: 1, Tid: t,
+			})
+		}
+	}
+	// Name the threads for the trace viewer's left rail (in tid order, so
+	// the output is deterministic).
+	byID := make([]string, len(tids)+1)
+	for name, id := range tids {
+		byID[id] = name
+	}
+	for id := 1; id < len(byID); id++ {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+			Args: map[string]any{"name": byID[id]},
+		})
+	}
+	if d := r.ring.Dropped(); d > 0 {
+		out.OtherData = map[string]any{"dropped_events": d}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Repository health check: formatting, vet, and the full test suite under
+# the race detector. Run from the repo root (or via `make check`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+echo "ok"
+
+echo "== go vet =="
+go vet ./...
+echo "ok"
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "all checks passed"

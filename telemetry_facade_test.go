@@ -1,0 +1,149 @@
+package cheriot_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	cheriot "github.com/cheriot-go/cheriot"
+)
+
+// quickstartTelemetryImage mirrors examples/quickstart: a sensor
+// compartment, an app compartment that polls it five times and then trips
+// a contained out-of-bounds fault in the sensor's selftest.
+func quickstartTelemetryImage() *cheriot.Image {
+	img := cheriot.NewImage("quickstart-telemetry")
+	img.AddCompartment(&cheriot.Compartment{
+		Name:     "sensor",
+		CodeSize: 512, DataSize: 64,
+		Exports: []*cheriot.Export{
+			{Name: "read", MinStack: 128,
+				Entry: func(ctx cheriot.Context, args []cheriot.Value) []cheriot.Value {
+					g := ctx.Globals()
+					count := ctx.Load32(g) + 1
+					ctx.Store32(g, count)
+					return []cheriot.Value{cheriot.W(uint32(cheriot.OK)), cheriot.W(20 + count%5)}
+				}},
+			{Name: "selftest", MinStack: 128,
+				Entry: func(ctx cheriot.Context, args []cheriot.Value) []cheriot.Value {
+					g := ctx.Globals()
+					for off := uint32(32); ; off += 4 {
+						ctx.Store32(g.WithAddress(g.Base()+off), 0) // walks off the end
+					}
+				}},
+		},
+	})
+	img.AddCompartment(&cheriot.Compartment{
+		Name:     "app",
+		CodeSize: 512, DataSize: 0,
+		Imports: []cheriot.Import{
+			{Kind: cheriot.ImportCall, Target: "sensor", Entry: "read"},
+			{Kind: cheriot.ImportCall, Target: "sensor", Entry: "selftest"},
+		},
+		Exports: []*cheriot.Export{{Name: "main", MinStack: 512,
+			Entry: func(ctx cheriot.Context, args []cheriot.Value) []cheriot.Value {
+				for i := 0; i < 5; i++ {
+					if _, err := ctx.Call("sensor", "read"); err != nil {
+						return cheriot.EV(cheriot.ErrUnwound)
+					}
+				}
+				_, _ = ctx.Call("sensor", "selftest")
+				return cheriot.EV(cheriot.OK)
+			}}},
+	})
+	img.AddThread(&cheriot.Thread{
+		Name: "main", Compartment: "app", Entry: "main",
+		Priority: 1, StackSize: 2048, TrustedStackFrames: 8,
+	})
+	return img
+}
+
+// TestTelemetryAttributionSumsToClock checks the exact-sum property of the
+// cycle-attribution layer on the quickstart scenario: every simulated cycle
+// elapsed after EnableTelemetry is charged to exactly one compartment (or
+// kernel pseudo-domain), so the per-compartment totals sum to the clock
+// delta with no residue.
+func TestTelemetryAttributionSumsToClock(t *testing.T) {
+	sys, err := cheriot.Boot(quickstartTelemetryImage())
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	defer sys.Shutdown()
+
+	reg := sys.EnableTelemetry(256)
+	if got := sys.Telemetry(); got != reg {
+		t.Fatal("Telemetry() does not return the enabled registry")
+	}
+	if err := sys.Run(nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	elapsed := sys.Cycles() - reg.Base()
+	if elapsed == 0 {
+		t.Fatal("no cycles elapsed under telemetry")
+	}
+	if got := reg.AttributedCycles(); got != elapsed {
+		t.Fatalf("attributed %d cycles, clock advanced %d: attribution must sum exactly", got, elapsed)
+	}
+
+	snap := reg.Snapshot()
+	byName := map[string]uint64{}
+	var sum uint64
+	for _, row := range snap.Compartments {
+		byName[row.Name] = row.Cycles
+		sum += row.Cycles
+	}
+	if sum != elapsed {
+		t.Fatalf("snapshot compartment rows sum to %d, want %d", sum, elapsed)
+	}
+	if byName["sensor"] == 0 {
+		t.Error("sensor compartment charged zero cycles despite executing reads and a faulting selftest")
+	}
+	if byName["<switcher>"] == 0 {
+		t.Error("switcher pseudo-domain charged zero cycles despite 6+ domain transitions")
+	}
+
+	// The app thread ran; its per-thread account must have been charged.
+	var threadCycles uint64
+	for _, row := range snap.Threads {
+		if row.Name == "main" {
+			threadCycles = row.Cycles
+		}
+	}
+	if threadCycles == 0 {
+		t.Error("thread 'main' charged zero cycles")
+	}
+	if threadCycles > elapsed {
+		t.Errorf("thread 'main' charged %d cycles, more than the %d elapsed", threadCycles, elapsed)
+	}
+
+	// Kernel counters saw the scenario's story: 7 compartment transitions
+	// (thread entry into app.main, 5 reads, 1 selftest), one trap, one
+	// unwind.
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Compartment+"/"+c.Metric] = c.Value
+	}
+	if got := counters["<switcher>/compartment_calls"]; got != 7 {
+		t.Errorf("compartment_calls = %d, want 7", got)
+	}
+	if got := counters["<switcher>/traps"]; got != 1 {
+		t.Errorf("traps = %d, want 1", got)
+	}
+	if got := counters["<switcher>/unwinds"]; got != 1 {
+		t.Errorf("unwinds = %d, want 1", got)
+	}
+
+	// The JSON export round-trips and agrees with the live registry.
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded cheriot.TelemetrySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if decoded.AttributedCycles != elapsed {
+		t.Fatalf("JSON snapshot attributes %d cycles, want %d", decoded.AttributedCycles, elapsed)
+	}
+}
