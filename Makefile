@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check trace
+.PHONY: build test bench check trace fleet
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,7 @@ check:
 # Chrome trace of the IoT case study (open in chrome://tracing / Perfetto).
 trace:
 	$(GO) run ./cmd/cheriot-trace -format chrome -o trace.json
+
+# 1000-device fleet against the shared simulated cloud.
+fleet:
+	$(GO) run ./cmd/cheriot-fleet -devices 1000 -duration 15s

@@ -1,0 +1,146 @@
+// Fleet-throughput benchmark (ISSUE: fleet simulation subsystem).
+//
+// Measures how many simulated devices (full firmware: loader boot,
+// netstack, TLS+MQTT session, steady publish loop) the simulator pushes
+// through per wall-clock second, serial (1 shard) versus parallel
+// (NumCPU shards). The simulated results are identical in both modes —
+// devices are independent — so the comparison isolates the worker pool.
+//
+// TestBenchFleetJSON records both into BENCH_fleet.json.
+package cheriot_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/cheriot-go/cheriot/internal/fleet"
+)
+
+// fleetBenchConfig is the benchmark workload: each device DHCPs, syncs,
+// resolves, TLS-connects (~10 simulated seconds), then publishes at 2 Hz
+// for the remaining horizon.
+func fleetBenchConfig(devices, shards int) fleet.Config {
+	return fleet.Config{
+		Devices:       devices,
+		Shards:        shards,
+		Duration:      12 * time.Second,
+		PublishRate:   2,
+		ArrivalSpread: time.Second,
+		Seed:          1,
+	}
+}
+
+// fleetBenchRun runs one fleet and returns the result plus total wall
+// time (boot + run).
+func fleetBenchRun(tb testing.TB, devices, shards int) (*fleet.Result, time.Duration) {
+	tb.Helper()
+	res, err := fleet.Run(fleetBenchConfig(devices, shards))
+	if err != nil {
+		tb.Fatalf("fleet.Run: %v", err)
+	}
+	s := res.Summary
+	if s.DeviceErrors != 0 || s.SetupFailures != 0 || s.CapabilityFaults != 0 {
+		tb.Fatalf("unhealthy fleet: %d errors, %d setup failures, %d capability faults",
+			s.DeviceErrors, s.SetupFailures, s.CapabilityFaults)
+	}
+	return res, res.BootWall + res.RunWall
+}
+
+// BenchmarkFleetThroughput reports devices and publishes per wall-clock
+// second for serial and parallel sharding.
+func BenchmarkFleetThroughput(b *testing.B) {
+	const devices = 64
+	shardCounts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, shards := range shardCounts {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var devPerSec, pubPerSec float64
+			for i := 0; i < b.N; i++ {
+				res, wall := fleetBenchRun(b, devices, shards)
+				devPerSec = float64(devices) / wall.Seconds()
+				pubPerSec = float64(res.Summary.Publishes) / wall.Seconds()
+			}
+			b.ReportMetric(devPerSec, "devices/sec")
+			b.ReportMetric(pubPerSec, "publishes/sec")
+			printOnce(fmt.Sprintf("fleetbench-%d", shards),
+				fmt.Sprintf("fleet %3d devices, %2d shards: %8.1f devices/sec, %9.1f publishes/sec\n",
+					devices, shards, devPerSec, pubPerSec))
+		})
+	}
+}
+
+// TestBenchFleetJSON measures serial vs parallel fleet throughput and
+// emits BENCH_fleet.json. The simulated outcome must be identical across
+// shard counts; on multi-core hosts the parallel mode must also win on
+// wall-clock publishes/sec.
+func TestBenchFleetJSON(t *testing.T) {
+	const devices = 64
+	const reps = 2
+
+	best := func(shards int) (*fleet.Result, time.Duration) {
+		var res *fleet.Result
+		var wall time.Duration
+		for i := 0; i < reps; i++ {
+			r, w := fleetBenchRun(t, devices, shards)
+			if res == nil || w < wall {
+				res, wall = r, w
+			}
+		}
+		return res, wall
+	}
+
+	serial, serialWall := best(1)
+	parallel, parallelWall := best(runtime.NumCPU())
+
+	if serial.Summary.Publishes != parallel.Summary.Publishes {
+		t.Fatalf("simulated publishes differ across shard counts: %d (1 shard) vs %d (%d shards)",
+			serial.Summary.Publishes, parallel.Summary.Publishes, runtime.NumCPU())
+	}
+
+	serialPub := float64(serial.Summary.Publishes) / serialWall.Seconds()
+	parallelPub := float64(parallel.Summary.Publishes) / parallelWall.Seconds()
+	speedup := serialWall.Seconds() / parallelWall.Seconds()
+	if runtime.NumCPU() > 1 && parallelPub <= serialPub {
+		t.Errorf("parallel (%d shards, %.1f publishes/sec) did not beat serial (%.1f publishes/sec)",
+			runtime.NumCPU(), parallelPub, serialPub)
+	}
+
+	report := map[string]any{
+		"benchmark":                  "fleet throughput: N full-firmware devices against one shared cloud",
+		"devices":                    devices,
+		"sim_seconds":                serial.Summary.SimSeconds,
+		"publish_rate":               serial.Summary.PublishRate,
+		"publishes":                  serial.Summary.Publishes,
+		"num_cpu":                    runtime.NumCPU(),
+		"runs_per_mode":              reps,
+		"serial_wall_sec":            serialWall.Seconds(),
+		"parallel_shards":            runtime.NumCPU(),
+		"parallel_wall_sec":          parallelWall.Seconds(),
+		"serial_devices_per_sec":     float64(devices) / serialWall.Seconds(),
+		"parallel_devices_per_sec":   float64(devices) / parallelWall.Seconds(),
+		"serial_publishes_per_sec":   serialPub,
+		"parallel_publishes_per_sec": parallelPub,
+		"parallel_speedup":           speedup,
+		"parallel_beats_serial":      parallelPub > serialPub,
+		"note": "wall-clock figures are machine-dependent; simulated results (publishes, cycle " +
+			"attribution) are identical across shard counts because devices are independent. On a " +
+			"single-CPU host the parallel mode cannot beat serial and parallel_beats_serial is " +
+			"expected to be false.",
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fleet.json", append(b, '\n'), 0o644); err != nil {
+		t.Fatalf("write BENCH_fleet.json: %v", err)
+	}
+	t.Logf("serial %.2fs vs parallel %.2fs (%d shards): %.2fx, %.1f vs %.1f publishes/sec",
+		serialWall.Seconds(), parallelWall.Seconds(), runtime.NumCPU(), speedup, serialPub, parallelPub)
+}

@@ -37,11 +37,25 @@ type System struct {
 // parameters (256 KiB SRAM, 33 MHz).
 func NewImage(name string) *firmware.Image { return firmware.NewImage(name) }
 
+// BootOptions tunes Boot for callers that construct many Systems (the
+// fleet simulator boots thousands).
+type BootOptions struct {
+	// SkipReport skips the firmware audit report (System.Report stays
+	// nil). The booted machine is identical; audit one representative
+	// image instead of re-deriving the same report per device.
+	SkipReport bool
+}
+
 // Boot injects the TCB compartments into the image (unless the image
 // already carries them), links it, runs the loader, and attaches the TCB
 // to the booted kernel. On return the loader has erased itself and the
 // machine is ready to Run.
 func Boot(img *firmware.Image) (*System, error) {
+	return BootWith(img, BootOptions{})
+}
+
+// BootWith is Boot with explicit BootOptions.
+func BootWith(img *firmware.Image, opts BootOptions) (*System, error) {
 	s := &System{Image: img}
 
 	s.Sched = sched.New()
@@ -57,7 +71,7 @@ func Boot(img *firmware.Image) (*System, error) {
 		s.Token.AddTo(img)
 	}
 
-	boot, err := loader.Load(img)
+	boot, err := loader.LoadWith(img, loader.Options{SkipReport: opts.SkipReport})
 	if err != nil {
 		return nil, fmt.Errorf("core: boot failed: %w", err)
 	}

@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"github.com/cheriot-go/cheriot/internal/netproto"
+	"github.com/cheriot-go/cheriot/internal/netsim"
+)
+
+// Cloud addresses. Device addresses live in 10.4.0.0/16 (see deviceIP),
+// disjoint from all of these.
+var (
+	// GatewayIP is the local router; each device's World gets its own
+	// gateway host instance (DHCP state is per-device).
+	GatewayIP = netproto.IPv4(10, 0, 0, 1)
+	// DNSIP, NTPIP, and BrokerIP are the shared cloud: single host
+	// instances registered in every device's World.
+	DNSIP    = netproto.IPv4(10, 0, 0, 53)
+	NTPIP    = netproto.IPv4(10, 0, 0, 123)
+	BrokerIP = netproto.IPv4(10, 0, 8, 1)
+)
+
+// BrokerName is the DNS name devices resolve to reach the broker.
+const BrokerName = "broker.fleet"
+
+// RootSecret is the fleet's pinned TLS trust root.
+var RootSecret = []byte("fleet-root-secret-2026")
+
+// Cloud is the shared back-end every simulated device talks to: one MQTT
+// broker plus DNS and SNTP servers. All hosts are netsim.ServerHosts,
+// which serialize inbound dispatch internally, so one Cloud safely serves
+// thousands of concurrent Worlds.
+type Cloud struct {
+	Broker     *netsim.Broker
+	brokerHost *netsim.ServerHost
+	dns        *netsim.ServerHost
+	ntp        *netsim.ServerHost
+}
+
+// newCloud builds the shared hosts.
+func newCloud() *Cloud {
+	host, broker := netsim.NewBroker(BrokerIP, RootSecret, []byte("fleet-ca"))
+	return &Cloud{
+		Broker:     broker,
+		brokerHost: host,
+		dns:        netsim.NewDNSServer(DNSIP, map[string]uint32{BrokerName: BrokerIP}),
+		// The shared NTP server answers with the *requesting* device's
+		// clock, so every device sees time consistent with its own
+		// simulation.
+		ntp: netsim.NewSharedNTPServer(NTPIP, 1_750_000_000_000),
+	}
+}
+
+// attach registers the shared hosts (and a private gateway leasing ip) in
+// one device's World.
+func (c *Cloud) attach(w *netsim.World, ip uint32) {
+	w.AddHost(GatewayIP, netsim.NewGateway(GatewayIP, ip))
+	w.AddHost(DNSIP, c.dns)
+	w.AddHost(NTPIP, c.ntp)
+	w.AddHost(BrokerIP, c.brokerHost)
+}

@@ -1,0 +1,314 @@
+package fleet
+
+import (
+	"fmt"
+
+	"github.com/cheriot-go/cheriot/internal/api"
+	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/core"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/netproto"
+	"github.com/cheriot-go/cheriot/internal/netsim"
+	"github.com/cheriot-go/cheriot/internal/netstack"
+	"github.com/cheriot-go/cheriot/internal/sched"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
+)
+
+const secondCycles = hw.DefaultHz
+
+// Histogram bucket bounds for the fleet's latency distributions. Connect
+// latency is dominated by the modeled TLS handshake (~330 M cycles, ~10 s
+// at 33 MHz) plus retries under fault injection; publish latency is the
+// device-side send path (TLS record crypto + socket send), orders of
+// magnitude smaller.
+var (
+	FleetConnectBuckets = []uint64{
+		330_000_000, 335_000_000, 340_000_000, 350_000_000, 375_000_000,
+		400_000_000, 500_000_000, 750_000_000, 1_500_000_000,
+	}
+	FleetPublishBuckets = []uint64{
+		5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 5_000_000,
+	}
+)
+
+// DeviceStats is what one device's application records. Written only by
+// the device's app thread (which runs strictly interleaved with its
+// kernel on the owning shard goroutine); read after the shards join.
+type DeviceStats struct {
+	SetupFailures   uint64
+	Connects        uint64
+	ConnectFailures uint64
+	Reconnects      uint64
+	Publishes       uint64
+	PublishErrors   uint64
+
+	// Latency samples in cycles; kept exact (not just histogrammed) so
+	// the fleet can report true percentiles.
+	ConnectLatency []uint64
+	PublishLatency []uint64
+}
+
+// Device is one simulated CHERIoT board: its own SRAM, capability core,
+// loader-booted firmware (full netstack + the fleet app compartment), and
+// World wired to the shared cloud.
+type Device struct {
+	Index int
+	IP    uint32
+	Topic string
+
+	Sys   *core.System
+	World *netsim.World
+	Tel   *telemetry.Registry
+	Stats DeviceStats
+	// Err records a run failure (e.g. kernel deadlock); nil for devices
+	// that reached the horizon.
+	Err error
+
+	cfg     *Config
+	rng     *rng
+	arrival uint64 // cycles to wait before starting setup
+}
+
+// deviceIP maps a device index into 10.4.0.0/16, disjoint from the cloud
+// addresses.
+func deviceIP(i int) uint32 {
+	n := i + 2 // skip .0.0 and .0.1
+	return netproto.IPv4(10, 4, byte(n>>8), byte(n))
+}
+
+// buildDevice assembles and boots one device.
+func buildDevice(cfg *Config, cloud *Cloud, i int) (*Device, error) {
+	d := &Device{
+		Index: i,
+		IP:    deviceIP(i),
+		Topic: fmt.Sprintf("fleet/%d", i),
+		cfg:   cfg,
+		rng:   newRNG(cfg.Seed, uint64(i)),
+	}
+	if spread := cfg.arrivalSpreadCycles(); spread > 0 {
+		d.arrival = d.rng.below(spread)
+	}
+
+	img := core.NewImage(fmt.Sprintf("fleet-%05d", i))
+	stack := netstack.AddTo(img, netstack.Config{
+		DeviceIP:   d.IP,
+		UseDHCP:    true,
+		GatewayIP:  GatewayIP,
+		DNSServer:  DNSIP,
+		NTPServer:  NTPIP,
+		RootSecret: RootSecret,
+	})
+	d.addApp(img)
+
+	// Skip the per-device audit report: all devices share one firmware
+	// shape; audit a single representative image instead.
+	sys, err := core.BootWith(img, core.BootOptions{SkipReport: true})
+	if err != nil {
+		return nil, fmt.Errorf("device %d: %w", i, err)
+	}
+	d.Sys = sys
+	stack.Attach(sys.Kernel)
+
+	d.World = netsim.NewWorld(sys.Board.Core, sys.Board.Net, d.IP)
+	d.World.SetConcurrent(true)
+	if cfg.DropRate > 0 || cfg.JitterCycles > 0 {
+		d.World.SetLinkFaults(cfg.DropRate, cfg.JitterCycles, newRNG(cfg.Seed, uint64(i)+1<<32).next())
+	}
+	cloud.attach(d.World, d.IP)
+
+	d.Tel = sys.EnableTelemetry(cfg.TraceCapacity)
+	return d, nil
+}
+
+// runSlice advances the device to toCycle (or a little past it: the
+// kernel only samples the stop condition between dispatches). The stop
+// callback also pumps the World inbox, so frames queued by the shared
+// cloud from other goroutines enter this device's event queue at the
+// next dispatch boundary.
+func (d *Device) runSlice(toCycle uint64) error {
+	return d.Sys.Run(func() bool {
+		d.World.PumpInbox()
+		return d.Sys.Cycles() >= toCycle
+	})
+}
+
+// addApp registers the load-generating application compartment: after an
+// arrival delay, bring the network up (DHCP), SNTP-sync, resolve the
+// broker, connect + subscribe over MQTT/TLS, then publish at the
+// configured rate forever (the fleet horizon ends the run), reconnecting
+// on error and — with ReconnectEvery — churning deliberately.
+func (d *Device) addApp(img *firmware.Image) {
+	imports := append(netstack.DNSImports(), netstack.SNTPImports()...)
+	imports = append(imports, netstack.MQTTImports()...)
+	imports = append(imports, sched.Imports()...)
+	imports = append(imports, firmware.Import{
+		Kind: firmware.ImportCall, Target: netstack.NetAPI, Entry: netstack.FnNetworkUp})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "fleetapp", CodeSize: 3000, DataSize: 256,
+		AllocCaps: []firmware.AllocCap{{Name: "default", Quota: 16384}},
+		Imports:   imports,
+		Exports:   []*firmware.Export{{Name: "main", MinStack: 8192, Entry: d.appMain}},
+	})
+	img.AddThread(&firmware.Thread{Name: "app", Compartment: "fleetapp", Entry: "main",
+		Priority: 3, StackSize: 32 * 1024, TrustedStackFrames: 24})
+}
+
+func (d *Device) appMain(ctx api.Context, args []api.Value) []api.Value {
+	st := &d.Stats
+	quota := func() cap.Capability { return ctx.SealedImport("default") }
+	sleep := func(cycles uint64) {
+		for cycles > 0 {
+			n := uint64(0xffff_ffff)
+			if n > cycles {
+				n = cycles
+			}
+			_, _ = ctx.Call(sched.Name, sched.EntrySleep, api.W(uint32(n)))
+			cycles -= n
+		}
+	}
+	// park idles a failed device without exiting: the driver thread
+	// blocks on IRQs, and a returned app thread would leave the kernel
+	// with no pending events (a reported deadlock) instead of an idle
+	// machine.
+	park := func() []api.Value {
+		for {
+			sleep(10 * secondCycles)
+		}
+	}
+	// stage copies b into a fresh stack buffer with exact bounds. Stack
+	// allocations within this frame are never reclaimed, so the steady
+	// loop below reuses buffers instead of staging per publish.
+	stage := func(b []byte) cap.Capability {
+		buf := ctx.StackAlloc(uint32(len(b)))
+		ctx.StoreBytes(buf, b)
+		view, _ := buf.SetBounds(uint32(len(b)))
+		return view
+	}
+
+	if d.arrival > 0 {
+		sleep(d.arrival)
+	}
+
+	// Network bring-up: the DHCP exchange through the firewall's
+	// bootstrap window. Retries cover frames lost to fault injection.
+	up := false
+	for try := 0; try < 30; try++ {
+		rets, err := ctx.Call(netstack.NetAPI, netstack.FnNetworkUp, api.W(0))
+		if err == nil && api.ErrnoOf(rets) == api.OK {
+			up = true
+			break
+		}
+		sleep(secondCycles / 5)
+	}
+	if !up {
+		st.SetupFailures++
+		return park()
+	}
+
+	// Clock sync; tolerated to fail under heavy drop rates (the device
+	// can still publish).
+	for try := 0; try < 3; try++ {
+		rets, err := ctx.Call(netstack.SNTP, netstack.FnSNTPSync)
+		if err == nil && api.ErrnoOf(rets) == api.OK {
+			break
+		}
+		sleep(secondCycles / 5)
+	}
+
+	// Resolve the broker.
+	brokerAddr := uint32(0)
+	for try := 0; try < 30 && brokerAddr == 0; try++ {
+		rets, err := ctx.Call(netstack.DNS, netstack.FnDNSResolve, api.C(stage([]byte(BrokerName))))
+		if err == nil && api.ErrnoOf(rets) == api.OK {
+			brokerAddr = rets[1].AsWord()
+			break
+		}
+		sleep(secondCycles / 2)
+	}
+	if brokerAddr == 0 {
+		st.SetupFailures++
+		return park()
+	}
+
+	connHist := d.Tel.Histogram("fleet", "connect_cycles", FleetConnectBuckets)
+	pubHist := d.Tel.Histogram("fleet", "publish_cycles", FleetPublishBuckets)
+
+	var handle api.Value
+	topicView := stage([]byte(d.Topic))
+	// connect establishes an MQTT/TLS session and subscribes to the
+	// device's topic, with bounded retries.
+	connect := func() bool {
+		for try := 0; try < 10; try++ {
+			t0 := ctx.Now()
+			rets, err := ctx.Call(netstack.MQTT, netstack.FnMQTTConnect,
+				api.C(quota()), api.W(brokerAddr), api.W(netproto.PortMQTT), api.W(20_000_000))
+			if err == nil && api.ErrnoOf(rets) == api.OK {
+				h := rets[1]
+				srets, serr := ctx.Call(netstack.MQTT, netstack.FnMQTTSubscribe,
+					h, api.C(topicView), api.W(20_000_000))
+				if serr == nil && api.ErrnoOf(srets) == api.OK {
+					handle = h
+					lat := ctx.Now() - t0
+					st.Connects++
+					st.ConnectLatency = append(st.ConnectLatency, lat)
+					connHist.Observe(lat)
+					return true
+				}
+				_, _ = ctx.Call(netstack.MQTT, netstack.FnMQTTClose, api.C(quota()), h)
+			}
+			st.ConnectFailures++
+			sleep(secondCycles / 2)
+		}
+		return false
+	}
+	disconnect := func() {
+		if handle.IsCap {
+			_, _ = ctx.Call(netstack.MQTT, netstack.FnMQTTClose, api.C(quota()), handle)
+			handle = api.Value{}
+		}
+	}
+
+	if !connect() {
+		st.SetupFailures++
+		return park()
+	}
+
+	// Steady state: publish at the configured rate with ±12.5% seeded
+	// jitter until the fleet horizon stops the kernel.
+	payload := make([]byte, d.cfg.PublishBytes)
+	for i := range payload {
+		payload[i] = byte(d.Index + i)
+	}
+	payloadView := stage(payload)
+	interval := uint64(float64(secondCycles) / d.cfg.PublishRate)
+	published := uint64(0)
+	for {
+		sleep(interval - interval/8 + d.rng.below(interval/4+1))
+		if d.cfg.ReconnectEvery > 0 && published > 0 && published%uint64(d.cfg.ReconnectEvery) == 0 {
+			published = 0 // avoid re-triggering before the next publish
+			disconnect()
+			st.Reconnects++
+			if !connect() {
+				return park()
+			}
+		}
+		t0 := ctx.Now()
+		rets, err := ctx.Call(netstack.MQTT, netstack.FnMQTTPublish,
+			handle, api.C(topicView), api.C(payloadView))
+		if err == nil && api.ErrnoOf(rets) == api.OK {
+			lat := ctx.Now() - t0
+			st.Publishes++
+			published++
+			st.PublishLatency = append(st.PublishLatency, lat)
+			pubHist.Observe(lat)
+			continue
+		}
+		st.PublishErrors++
+		disconnect()
+		st.Reconnects++
+		if !connect() {
+			return park()
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package fleet instantiates many independent simulated CHERIoT devices —
+// each with its own SRAM, capability core, loader-built firmware, and
+// netstack — and runs them concurrently on a worker pool against one
+// shared simulated cloud (MQTT broker, DNS, SNTP). A load generator gives
+// each device a seeded arrival offset, publish schedule, and reconnect
+// churn; link fault injection (drop/delay) is per-device and seeded.
+//
+// Two run modes share all of the per-device logic:
+//
+//   - parallel: devices are partitioned across shard goroutines
+//     (device i → shard i%N) and advanced in bounded cycle quanta;
+//   - lockstep: one goroutine round-robins every device in index order,
+//     fully deterministic for a given config+seed.
+//
+// Because each device publishes to its own topic, devices never inject
+// events into each other's simulations, so per-device results (and the
+// aggregated Summary) are identical across modes and shard counts. The
+// Summary deliberately contains no wall-clock fields; wall-clock numbers
+// live in Result, outside the deterministic surface.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
+)
+
+// Config parameterizes a fleet run. Durations are simulated time (the
+// devices' 33 MHz cycle clocks), not wall clock.
+type Config struct {
+	// Devices is the fleet size (max 60000, the 10.4.0.0/16 device pool).
+	Devices int
+	// Shards is the worker-pool width; 0 means runtime.NumCPU. Lockstep
+	// forces 1.
+	Shards int
+	// Lockstep selects the deterministic single-goroutine round-robin
+	// mode.
+	Lockstep bool
+	// Duration is the simulated horizon per device. The TLS handshake
+	// alone takes ~10 simulated seconds, so runs shorter than that
+	// complete with zero publishes.
+	Duration time.Duration
+	// PublishRate is publishes per simulated second per device.
+	PublishRate float64
+	// PublishBytes is the payload size.
+	PublishBytes int
+	// ReconnectEvery makes each device tear down and re-establish its
+	// MQTT/TLS session after every N publishes (0 disables churn).
+	ReconnectEvery int
+	// DropRate is the link frame-drop probability in [0,1).
+	DropRate float64
+	// JitterCycles adds a seeded inbound delivery delay in [0,n) cycles.
+	JitterCycles uint64
+	// ArrivalSpread staggers device start times uniformly over this
+	// simulated window.
+	ArrivalSpread time.Duration
+	// Seed drives every random choice (arrival, publish jitter, link
+	// faults). Same seed + same config ⇒ identical Summary.
+	Seed uint64
+	// TraceCapacity sizes each device's telemetry trace ring (0: counters
+	// and histograms only).
+	TraceCapacity int
+}
+
+// quantumCycles is how far a shard advances one device before moving to
+// the next. Inbox pumping happens at every kernel dispatch regardless, so
+// the quantum affects scheduling fairness, not timing.
+const quantumCycles = 2_000_000
+
+const maxDevices = 60000
+
+func (c Config) withDefaults() Config {
+	if c.Devices <= 0 {
+		c.Devices = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+	}
+	if c.Lockstep {
+		c.Shards = 1
+	}
+	if c.Shards > c.Devices {
+		c.Shards = c.Devices
+	}
+	if c.Duration <= 0 {
+		c.Duration = 20 * time.Second
+	}
+	if c.PublishRate <= 0 {
+		c.PublishRate = 1
+	}
+	if c.PublishBytes <= 0 {
+		c.PublishBytes = 32
+	}
+	if c.PublishBytes > 512 {
+		c.PublishBytes = 512
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) horizonCycles() uint64 {
+	// Microsecond granularity avoids uint64 overflow for any sane
+	// duration (33 cycles per µs).
+	return uint64(c.Duration.Microseconds()) * (hw.DefaultHz / 1_000_000)
+}
+
+func (c Config) arrivalSpreadCycles() uint64 {
+	return uint64(c.ArrivalSpread.Microseconds()) * (hw.DefaultHz / 1_000_000)
+}
+
+// Summary is the deterministic digest of a fleet run: everything here is
+// a pure function of Config (including Seed). No wall-clock quantities.
+type Summary struct {
+	Devices        int     `json:"devices"`
+	Shards         int     `json:"shards"`
+	Lockstep       bool    `json:"lockstep"`
+	Seed           uint64  `json:"seed"`
+	SimSeconds     float64 `json:"sim_seconds"`
+	PublishRate    float64 `json:"publish_rate"`
+	PublishBytes   int     `json:"publish_bytes"`
+	DropRate       float64 `json:"drop_rate"`
+	JitterCycles   uint64  `json:"jitter_cycles"`
+	ReconnectEvery int     `json:"reconnect_every"`
+
+	DevicesOK    int `json:"devices_ok"`
+	DeviceErrors int `json:"device_errors"`
+
+	SetupFailures   uint64 `json:"setup_failures"`
+	Connects        uint64 `json:"connects"`
+	ConnectFailures uint64 `json:"connect_failures"`
+	Reconnects      uint64 `json:"reconnects"`
+	Publishes       uint64 `json:"publishes"`
+	PublishErrors   uint64 `json:"publish_errors"`
+
+	// Fleet-wide throughput in simulated time.
+	PublishesPerSimSecond float64 `json:"publishes_per_sim_second"`
+
+	// Exact percentiles over all devices' samples, in milliseconds of
+	// simulated time.
+	ConnectP50Ms float64 `json:"connect_p50_ms"`
+	ConnectP99Ms float64 `json:"connect_p99_ms"`
+	PublishP50Ms float64 `json:"publish_p50_ms"`
+	PublishP99Ms float64 `json:"publish_p99_ms"`
+
+	// Link counters summed over all Worlds.
+	FramesFromDevices uint64 `json:"frames_from_devices"`
+	FramesToDevices   uint64 `json:"frames_to_devices"`
+	FramesDropped     uint64 `json:"frames_dropped"`
+
+	// Shared-cloud broker counters.
+	BrokerConnects     int `json:"broker_connects"`
+	BrokerSubscribes   int `json:"broker_subscribes"`
+	BrokerPublishes    int `json:"broker_publishes"`
+	BrokerLiveSessions int `json:"broker_live_sessions"`
+
+	// CapabilityFaults is the fleet-wide switcher trap count; a healthy
+	// workload runs with zero.
+	CapabilityFaults int64 `json:"capability_faults"`
+	// CycleSumExact asserts the telemetry invariant across the whole
+	// fleet: for every device AttributedCycles == clock − base, and the
+	// merged per-compartment cycles sum exactly to the merged
+	// AttributedCycles.
+	CycleSumExact bool `json:"cycle_sum_exact"`
+
+	// Telemetry is the fleet-merged snapshot (per-compartment cycle
+	// totals summed across devices, counters, histograms).
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// Result is what Run returns: the deterministic Summary plus wall-clock
+// measurements and the per-device detail.
+type Result struct {
+	Summary  Summary
+	Devices  []*Device
+	BootWall time.Duration
+	RunWall  time.Duration
+}
+
+// Run builds and runs a fleet per cfg.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Devices > maxDevices {
+		return nil, fmt.Errorf("fleet: %d devices exceeds the %d address pool", cfg.Devices, maxDevices)
+	}
+	cloud := newCloud()
+	horizon := cfg.horizonCycles()
+	devices := make([]*Device, cfg.Devices)
+	buildErrs := make([]error, cfg.Shards)
+
+	// Build phase: each shard boots its own devices so firmware loading
+	// parallelizes too.
+	shardIndices := make([][]int, cfg.Shards)
+	for i := 0; i < cfg.Devices; i++ {
+		s := i % cfg.Shards
+		shardIndices[s] = append(shardIndices[s], i)
+	}
+	bootStart := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < cfg.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, i := range shardIndices[s] {
+				d, err := buildDevice(&cfg, cloud, i)
+				if err != nil {
+					buildErrs[s] = err
+					return
+				}
+				devices[i] = d
+			}
+		}(s)
+	}
+	wg.Wait()
+	bootWall := time.Since(bootStart)
+	if err := errors.Join(buildErrs...); err != nil {
+		return nil, err
+	}
+
+	// Run phase: round-robin each shard's devices in bounded quanta until
+	// every device reaches the horizon.
+	runStart := time.Now()
+	for s := 0; s < cfg.Shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			runShard(devices, shardIndices[s], horizon)
+		}(s)
+	}
+	wg.Wait()
+	runWall := time.Since(runStart)
+
+	for _, d := range devices {
+		d.Sys.Shutdown()
+	}
+
+	res := &Result{
+		Summary:  summarize(cfg, cloud, devices),
+		Devices:  devices,
+		BootWall: bootWall,
+		RunWall:  runWall,
+	}
+	return res, nil
+}
+
+// runShard advances its devices round-robin, one quantum at a time, in
+// fixed index order (which is what makes single-shard mode lockstep).
+func runShard(devices []*Device, indices []int, horizon uint64) {
+	active := make([]*Device, 0, len(indices))
+	for _, i := range indices {
+		active = append(active, devices[i])
+	}
+	for len(active) > 0 {
+		next := active[:0]
+		for _, d := range active {
+			target := d.Sys.Cycles() + quantumCycles
+			if target > horizon {
+				target = horizon
+			}
+			if err := d.runSlice(target); err != nil {
+				d.Err = err
+				continue
+			}
+			if d.Sys.Cycles() < horizon {
+				next = append(next, d)
+			}
+		}
+		active = next
+	}
+}
+
+// summarize aggregates the fleet: stats sums, exact percentiles, link and
+// broker counters, and the merged telemetry snapshot with the fleet-wide
+// cycle-attribution invariant check.
+func summarize(cfg Config, cloud *Cloud, devices []*Device) Summary {
+	s := Summary{
+		Devices:        cfg.Devices,
+		Shards:         cfg.Shards,
+		Lockstep:       cfg.Lockstep,
+		Seed:           cfg.Seed,
+		SimSeconds:     float64(cfg.horizonCycles()) / float64(hw.DefaultHz),
+		PublishRate:    cfg.PublishRate,
+		PublishBytes:   cfg.PublishBytes,
+		DropRate:       cfg.DropRate,
+		JitterCycles:   cfg.JitterCycles,
+		ReconnectEvery: cfg.ReconnectEvery,
+	}
+
+	var connectLat, publishLat []uint64
+	snaps := make([]telemetry.Snapshot, 0, len(devices))
+	exact := true
+	for _, d := range devices {
+		if d.Err != nil {
+			s.DeviceErrors++
+		} else {
+			s.DevicesOK++
+		}
+		st := &d.Stats
+		s.SetupFailures += st.SetupFailures
+		s.Connects += st.Connects
+		s.ConnectFailures += st.ConnectFailures
+		s.Reconnects += st.Reconnects
+		s.Publishes += st.Publishes
+		s.PublishErrors += st.PublishErrors
+		connectLat = append(connectLat, st.ConnectLatency...)
+		publishLat = append(publishLat, st.PublishLatency...)
+
+		snap := d.Tel.Snapshot()
+		if snap.BaseCycles+snap.AttributedCycles != d.Sys.Cycles() {
+			exact = false
+		}
+		snaps = append(snaps, snap)
+
+		s.FramesFromDevices += d.World.FramesFromDevice
+		s.FramesToDevices += d.World.FramesToDevice
+		s.FramesDropped += d.World.Dropped
+	}
+
+	if s.SimSeconds > 0 {
+		s.PublishesPerSimSecond = float64(s.Publishes) / s.SimSeconds
+	}
+	s.ConnectP50Ms = cyclesToMs(percentile(connectLat, 0.50))
+	s.ConnectP99Ms = cyclesToMs(percentile(connectLat, 0.99))
+	s.PublishP50Ms = cyclesToMs(percentile(publishLat, 0.50))
+	s.PublishP99Ms = cyclesToMs(percentile(publishLat, 0.99))
+
+	s.BrokerConnects, s.BrokerSubscribes, s.BrokerPublishes = cloud.Broker.Counts()
+	s.BrokerLiveSessions = cloud.Broker.LiveSessions()
+
+	s.Telemetry = telemetry.Merge(snaps...)
+	var compSum uint64
+	for _, a := range s.Telemetry.Compartments {
+		compSum += a.Cycles
+	}
+	s.CycleSumExact = exact && compSum == s.Telemetry.AttributedCycles
+	s.CapabilityFaults = counterSum(s.Telemetry.Counters, telemetry.DomainSwitcher, "traps")
+	return s
+}
+
+// counterSum returns the value of one merged counter (0 if absent).
+func counterSum(counters []telemetry.MetricSnapshot, comp, metric string) int64 {
+	for _, c := range counters {
+		if c.Compartment == comp && c.Metric == metric {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// percentile returns the q-th percentile (nearest-rank) of the samples.
+func percentile(samples []uint64, q float64) uint64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]uint64, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func cyclesToMs(cycles uint64) float64 {
+	return float64(cycles) * 1000 / float64(hw.DefaultHz)
+}

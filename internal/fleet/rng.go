@@ -1,0 +1,30 @@
+package fleet
+
+// rng is a small deterministic PRNG (splitmix64). Every device derives
+// its own stream from the fleet seed and its index, so per-device
+// schedules are independent of shard assignment and run mode — the basis
+// of the lockstep-equals-parallel guarantee.
+type rng struct{ state uint64 }
+
+// newRNG derives an independent stream from a seed and a stream id.
+func newRNG(seed, stream uint64) *rng {
+	r := &rng{state: seed ^ (stream+1)*0x9e3779b97f4a7c15}
+	r.next() // decorrelate trivially-related seeds
+	return r
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// below returns a value in [0, n); 0 when n is 0.
+func (r *rng) below(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}

@@ -78,18 +78,35 @@ const quotaRecordBytes = 16
 // dynamic range (token.FirstVirtualType) and from SRAM addresses.
 const StaticSealTypeBase = 0x0800_0000
 
+// Options tunes Load for callers with unusual needs (e.g. the fleet
+// simulator booting thousands of near-identical images).
+type Options struct {
+	// SkipReport skips building the firmware audit report. The report is
+	// pure derived data (it never feeds back into the capability graph),
+	// so skipping it changes nothing about the booted machine; it saves
+	// time and memory when booting many Systems whose images share a
+	// single already-audited template.
+	SkipReport bool
+}
+
 // Load links the image, builds the machine, and instantiates the initial
 // capability graph. It is deterministic: the same image always produces
 // the same memory contents and capability graph, which is what makes boot
 // auditable (§3.1.1).
-func Load(img *firmware.Image) (*Boot, error) {
+func Load(img *firmware.Image) (*Boot, error) { return LoadWith(img, Options{}) }
+
+// LoadWith is Load with explicit Options.
+func LoadWith(img *firmware.Image, opts Options) (*Boot, error) {
 	layout, err := firmware.Link(img)
 	if err != nil {
 		return nil, err
 	}
-	report, err := firmware.BuildReport(img)
-	if err != nil {
-		return nil, err
+	var report *firmware.Report
+	if !opts.SkipReport {
+		report, err = firmware.BuildReport(img)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	core := hw.NewCore(img.SRAM, img.Hz)

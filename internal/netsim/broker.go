@@ -7,6 +7,12 @@ import (
 // Broker is an MQTT broker behind the toy TLS, the stand-in for the
 // private IoT cloud back-end of §5.3.3. Tests and the case study push
 // notifications to subscribers with Publish.
+//
+// The broker carries no lock of its own: all session and counter state
+// is confined under its ServerHost's mutex. Inbound traffic (OnData,
+// OnClose) already runs under it; the cloud-originated entry points
+// (Publish, LiveSessions, Counts) take it explicitly, which makes the
+// broker safe when shared by many concurrent Worlds.
 type Broker struct {
 	host       *ServerHost
 	RootSecret []byte
@@ -17,7 +23,8 @@ type Broker struct {
 
 	sessions map[*TCPPeer]*brokerSession
 
-	// Counters for tests.
+	// Counters for tests; guarded by host.mu (prefer Counts when the
+	// fleet is still running).
 	Connects   int
 	Subscribes int
 	Publishes  int
@@ -96,6 +103,7 @@ func (s *brokerSession) reply(pkt netproto.MQTTPacket) {
 	s.peer.Send(s.tls.Seal(netproto.EncodeMQTT(pkt)))
 }
 
+// fanOut runs under host.mu (only reached from brokerSession.OnData).
 func (b *Broker) fanOut(pkt netproto.MQTTPacket, except *brokerSession) {
 	for _, sess := range b.sessions {
 		if sess == except || sess.tls == nil || !sess.topics[pkt.Topic] {
@@ -106,8 +114,11 @@ func (b *Broker) fanOut(pkt netproto.MQTTPacket, except *brokerSession) {
 }
 
 // Publish pushes a notification to every live subscriber of the topic —
-// the cloud side sending the device an event.
+// the cloud side sending the device an event. Safe to call from any
+// goroutine; delivery to concurrent Worlds lands in their inboxes.
 func (b *Broker) Publish(topic string, payload []byte) int {
+	b.host.mu.Lock()
+	defer b.host.mu.Unlock()
 	b.Publishes++
 	n := 0
 	for _, sess := range b.sessions {
@@ -121,6 +132,8 @@ func (b *Broker) Publish(topic string, payload []byte) int {
 
 // LiveSessions reports connected (post-handshake) sessions.
 func (b *Broker) LiveSessions() int {
+	b.host.mu.Lock()
+	defer b.host.mu.Unlock()
 	n := 0
 	for _, s := range b.sessions {
 		if s.tls != nil {
@@ -128,4 +141,12 @@ func (b *Broker) LiveSessions() int {
 		}
 	}
 	return n
+}
+
+// Counts returns a consistent snapshot of the broker counters, safe to
+// call while concurrent Worlds are still driving traffic.
+func (b *Broker) Counts() (connects, subscribes, publishes int) {
+	b.host.mu.Lock()
+	defer b.host.mu.Unlock()
+	return b.Connects, b.Subscribes, b.Publishes
 }

@@ -1,0 +1,227 @@
+package netsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/netproto"
+	"github.com/cheriot-go/cheriot/internal/netsim"
+)
+
+// worldClient is a minimal device-side MQTT client used to hammer a
+// shared broker from many goroutines. Each client owns a core + adaptor +
+// World (in concurrent mode) on its own goroutine; only the broker host
+// is shared. Helpers return errors instead of calling t.Fatal because
+// they run off the test goroutine.
+type worldClient struct {
+	core *hw.Core
+	w    *netsim.World
+	ip   uint32
+	port uint16
+}
+
+func newWorldClient(ip uint32, brokerIP uint32, broker *netsim.ServerHost) *worldClient {
+	core := hw.NewCore(0x4000, 0)
+	adaptor := hw.NewNetAdaptor(core)
+	w := netsim.NewWorld(core, adaptor, ip)
+	w.SetConcurrent(true)
+	w.AddHost(brokerIP, broker)
+	return &worldClient{core: core, w: w, ip: ip, port: 4002}
+}
+
+func (c *worldClient) send(dst uint32, seg netproto.TCP) error {
+	frame := netproto.EncodeHeader(netproto.Header{
+		Dst: dst, Src: c.ip, Proto: netproto.ProtoTCP}, netproto.EncodeTCP(seg))
+	root := capFor(0, 0x4000)
+	if err := c.core.Mem.StoreBytes(root.WithAddress(0x100), frame); err != nil {
+		return err
+	}
+	reg := capFor(hw.NetBase, hw.NetBase+hw.WindowSize)
+	if err := c.core.Mem.Store32(reg.WithAddress(hw.NetBase+hw.NetTxAddr), 0x100); err != nil {
+		return err
+	}
+	if err := c.core.Mem.Store32(reg.WithAddress(hw.NetBase+hw.NetTxLen), uint32(len(frame))); err != nil {
+		return err
+	}
+	c.step()
+	return nil
+}
+
+// step advances: outbound frames reach the host, replies queued by the
+// host (possibly from another client's goroutine via fan-out) are pumped
+// from the inbox, then delivered.
+func (c *worldClient) step() {
+	c.core.Tick(c.w.Latency + 1)
+	c.w.PumpInbox()
+	c.core.Tick(c.w.Latency + 1)
+}
+
+// recv pops one inbound TCP payload, or nil if none pending.
+func (c *worldClient) recv() []byte {
+	reg := capFor(hw.NetBase, hw.NetBase+hw.WindowSize)
+	n, _ := c.core.Mem.Load32(reg.WithAddress(hw.NetBase + hw.NetRxLen))
+	if n == 0 {
+		return nil
+	}
+	if err := c.core.Mem.Store32(reg.WithAddress(hw.NetBase+hw.NetRxAddr), 0x800); err != nil {
+		return nil
+	}
+	b, err := c.core.Mem.LoadBytes(capFor(0, 0x4000).WithAddress(0x800), n)
+	if err != nil {
+		return nil
+	}
+	_, payload, err := netproto.DecodeHeader(b)
+	if err != nil {
+		return nil
+	}
+	seg, err := netproto.DecodeTCP(payload)
+	if err != nil {
+		return nil
+	}
+	return seg.Data
+}
+
+// TestBrokerConcurrentWorlds hammers one broker from 8 goroutines, each a
+// full device World: TLS handshake, MQTT connect, subscribe to a shared
+// topic, publish to a private topic, and receive a cloud-side fan-out
+// published while all eight run. Run under -race this is the regression
+// test for the ServerHost/Broker locking (shared session maps, counters,
+// and cross-world TCP state).
+func TestBrokerConcurrentWorlds(t *testing.T) {
+	const workers = 8
+	const publishes = 5
+
+	brokerIP := netproto.IPv4(10, 0, 8, 1)
+	root := []byte("secret")
+	host, broker := netsim.NewBroker(brokerIP, root, []byte("cert"))
+
+	var subscribed, done sync.WaitGroup
+	subscribed.Add(workers)
+	done.Add(workers)
+	errs := make(chan error, workers)
+
+	for i := 0; i < workers; i++ {
+		i := i
+		go func() {
+			defer done.Done()
+			fail := func(format string, args ...interface{}) {
+				errs <- fmt.Errorf("worker %d: "+format, append([]interface{}{i}, args...)...)
+				subscribed.Done() // never block the publisher
+			}
+			c := newWorldClient(netproto.IPv4(10, 1, 0, byte(i+2)), brokerIP, host)
+
+			// TCP + TLS handshake.
+			if err := c.send(brokerIP, netproto.TCP{SrcPort: c.port, DstPort: netproto.PortMQTT,
+				Flags: netproto.TCPSyn}); err != nil {
+				fail("syn: %v", err)
+				return
+			}
+			if c.recv() == nil {
+				fail("no SYN|ACK")
+				return
+			}
+			clientRandom := bytes.Repeat([]byte{byte(i + 1)}, netproto.RandomBytes)
+			if err := c.send(brokerIP, netproto.TCP{SrcPort: c.port, DstPort: netproto.PortMQTT, Seq: 1,
+				Flags: netproto.TCPPsh | netproto.TCPAck,
+				Data:  netproto.EncodeClientHello(clientRandom)}); err != nil {
+				fail("hello: %v", err)
+				return
+			}
+			sh := c.recv()
+			serverRandom, _, err := netproto.DecodeServerHello(root, sh)
+			if err != nil {
+				fail("server hello: %v", err)
+				return
+			}
+			session := netproto.NewSession(netproto.SessionKey(root, clientRandom, serverRandom))
+			// exch sends one MQTT packet and opens the broker's response
+			// (keeping the record counters in sync for later records).
+			exch := func(pkt netproto.MQTTPacket) []byte {
+				if err := c.send(brokerIP, netproto.TCP{SrcPort: c.port, DstPort: netproto.PortMQTT, Seq: 1,
+					Flags: netproto.TCPPsh | netproto.TCPAck,
+					Data:  session.Seal(netproto.EncodeMQTT(pkt))}); err != nil {
+					return nil
+				}
+				data := c.recv()
+				if data == nil {
+					return nil
+				}
+				plain, err := session.Open(data)
+				if err != nil {
+					return nil
+				}
+				return plain
+			}
+			if exch(netproto.MQTTPacket{Type: netproto.MQTTConnect, Topic: "dev"}) == nil {
+				fail("no CONNACK")
+				return
+			}
+			if exch(netproto.MQTTPacket{Type: netproto.MQTTSubscribe, Topic: "shared"}) == nil {
+				fail("no SUBACK")
+				return
+			}
+			subscribed.Done()
+
+			// Publish to a private topic while every other worker does the
+			// same; unique topics keep device-originated fan-out quiet so
+			// the one cloud publish below is the only inbound PUBLISH.
+			for n := 0; n < publishes; n++ {
+				if err := c.send(brokerIP, netproto.TCP{SrcPort: c.port, DstPort: netproto.PortMQTT, Seq: 1,
+					Flags: netproto.TCPPsh | netproto.TCPAck,
+					Data: session.Seal(netproto.EncodeMQTT(netproto.MQTTPacket{
+						Type: netproto.MQTTPublish, Topic: fmt.Sprintf("w%d", i),
+						Payload: []byte{byte(n)}}))}); err != nil {
+					errs <- fmt.Errorf("worker %d publish %d: %v", i, n, err)
+					return
+				}
+			}
+
+			// Wait for the cloud-side fan-out to arrive via the inbox. The
+			// Gosched keeps the publisher goroutine scheduled on
+			// GOMAXPROCS=1 machines.
+			for tries := 0; tries < 100_000; tries++ {
+				runtime.Gosched()
+				c.step()
+				data := c.recv()
+				if data == nil {
+					continue
+				}
+				plain, err := session.Open(data)
+				if err != nil {
+					continue
+				}
+				pkt, err := netproto.DecodeMQTT(plain)
+				if err == nil && pkt.Type == netproto.MQTTPublish && string(pkt.Payload) == "fanout" {
+					return
+				}
+			}
+			errs <- fmt.Errorf("worker %d: fan-out publish never arrived", i)
+		}()
+	}
+
+	subscribed.Wait()
+	if n := broker.Publish("shared", []byte("fanout")); n != workers {
+		t.Errorf("cloud publish reached %d subscribers, want %d", n, workers)
+	}
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	connects, subs, pubs := broker.Counts()
+	if connects != workers || subs != workers {
+		t.Errorf("broker counters: %d connects, %d subscribes, want %d each", connects, subs, workers)
+	}
+	// Every worker's publishes plus the one cloud publish.
+	if pubs != workers*publishes+1 {
+		t.Errorf("broker publishes = %d, want %d", pubs, workers*publishes+1)
+	}
+	if broker.LiveSessions() != workers {
+		t.Errorf("live sessions = %d, want %d", broker.LiveSessions(), workers)
+	}
+}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/cheriot-go/cheriot/internal/netproto"
 )
@@ -23,13 +24,22 @@ type TCPAcceptor func(p *TCPPeer) TCPApp
 
 // ServerHost is a remote host serving UDP handlers and TCP listeners,
 // with an ICMP echo responder built in.
+//
+// A ServerHost may be shared by many concurrent Worlds (the fleet's
+// cloud). mu serializes the whole inbound dispatch — connection map,
+// peer state, and application callbacks — so TCPApp implementations
+// (e.g. brokerSession) run single-threaded without their own locking.
+// Cloud-originated paths (Broker.Publish) take the same lock.
 type ServerHost struct {
-	IP   uint32
+	IP uint32
+
+	mu   sync.Mutex
 	udp  map[uint16]UDPHandler
 	tcp  map[uint16]TCPAcceptor
 	conn map[string]*TCPPeer
 
-	// PingsSent and PingRepliesSeen count echo traffic for tests.
+	// PingsSent and PingRepliesSeen count echo traffic for tests; guarded
+	// by mu, read when quiescent.
 	PingRepliesSeen int
 }
 
@@ -44,17 +54,35 @@ func NewServerHost(ip uint32) *ServerHost {
 }
 
 // HandleUDP registers a UDP port handler.
-func (s *ServerHost) HandleUDP(port uint16, h UDPHandler) { s.udp[port] = h }
+func (s *ServerHost) HandleUDP(port uint16, h UDPHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.udp[port] = h
+}
 
 // ListenTCP registers a TCP listener.
-func (s *ServerHost) ListenTCP(port uint16, a TCPAcceptor) { s.tcp[port] = a }
+func (s *ServerHost) ListenTCP(port uint16, a TCPAcceptor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tcp[port] = a
+}
+
+// Connections reports live TCP connections (for tests).
+func (s *ServerHost) Connections() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conn)
+}
 
 func connKey(ip uint32, rport, lport uint16) string {
 	return fmt.Sprintf("%08x:%d:%d", ip, rport, lport)
 }
 
-// Receive implements Host.
+// Receive implements Host. Frames from different Worlds arrive on
+// different goroutines; the lock confines each dispatch.
 func (s *ServerHost) Receive(w *World, h netproto.Header, payload []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch h.Proto {
 	case netproto.ProtoICMP:
 		if len(payload) >= 1 && payload[0] == netproto.ICMPEchoRequest {

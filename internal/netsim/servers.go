@@ -34,6 +34,23 @@ func NewNTPServer(ip uint32, clock *hw.Clock, baseUnixMillis uint64) *ServerHost
 	return s
 }
 
+// NewSharedNTPServer builds an NTP host that can serve many Worlds at
+// once: instead of capturing one device's clock it reads the clock of
+// whichever World the request arrived on, so every device gets time
+// consistent with its own simulation. Used by the fleet's shared cloud.
+func NewSharedNTPServer(ip uint32, baseUnixMillis uint64) *ServerHost {
+	s := NewServerHost(ip)
+	s.HandleUDP(netproto.PortNTP, func(w *World, from netproto.Header, seg netproto.UDP) []byte {
+		stamp, err := netproto.DecodeNTPRequest(seg.Data)
+		if err != nil {
+			return nil
+		}
+		now := baseUnixMillis + w.Now()*1000/w.Hz()
+		return netproto.EncodeNTPReply(stamp, now)
+	})
+	return s
+}
+
 // NewEchoHost builds a host that only answers pings.
 func NewEchoHost(ip uint32) *ServerHost { return NewServerHost(ip) }
 

@@ -7,9 +7,18 @@
 // code paths (driver, firewall, TCP/IP, TLS, MQTT) without a physical
 // network. Everything is driven by hw.Core events, so runs remain
 // bit-for-bit reproducible.
+//
+// A World is single-device: it wraps one device's adaptor and clock. For
+// fleet simulation (internal/fleet) many Worlds share the same remote
+// hosts; SetConcurrent switches a World to that regime, where frames
+// pushed toward the device from another World's goroutine are queued
+// thread-safely and injected by the owning goroutine via PumpInbox.
 package netsim
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/netproto"
 )
@@ -27,10 +36,25 @@ type World struct {
 
 	hosts map[uint32]Host
 
-	// Counters for tests and the evaluation harness.
+	// Counters for tests and the evaluation harness. They are updated
+	// atomically (SendToDevice may run on a foreign goroutine in
+	// concurrent mode); read them only when the world is quiescent.
 	FramesFromDevice uint64
 	FramesToDevice   uint64
 	Dropped          uint64
+
+	// concurrent marks the world as sharing hosts with other worlds while
+	// being driven from its own goroutine. Inbound frames then go through
+	// the inbox instead of straight into the core's (unsynchronized)
+	// event queue.
+	concurrent bool
+	inboxMu    sync.Mutex
+	inbox      [][]byte
+
+	// faults, when armed, is the link-level fault injector. It is only
+	// ever touched from the owning goroutine (outbound in Send, inbound
+	// at delivery/pump time), so its PRNG needs no lock.
+	faults *linkFaults
 }
 
 // Host is a remote endpoint; it receives frames addressed to its IP and
@@ -53,17 +77,51 @@ func NewWorld(core *hw.Core, adaptor *hw.NetAdaptor, deviceIP uint32) *World {
 	return w
 }
 
-// AddHost registers a remote host.
+// AddHost registers a remote host. Hosts shared between concurrent worlds
+// must synchronize internally (ServerHost does).
 func (w *World) AddHost(ip uint32, h Host) { w.hosts[ip] = h }
+
+// SetConcurrent switches the world to fleet operation: SendToDevice
+// becomes safe to call from any goroutine (frames land in a queue), and
+// the owning goroutine must call PumpInbox regularly to move queued
+// frames into the core's event queue. Set it before the simulation runs.
+func (w *World) SetConcurrent(on bool) { w.concurrent = on }
+
+// SetLinkFaults arms deterministic link-level fault injection: each frame
+// (in either direction) is dropped with probability dropRate, and inbound
+// delivery gains up to jitterCycles of extra delay. The same seed always
+// produces the same drop/delay sequence.
+func (w *World) SetLinkFaults(dropRate float64, jitterCycles uint64, seed uint64) {
+	if dropRate <= 0 && jitterCycles == 0 {
+		w.faults = nil
+		return
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	w.faults = &linkFaults{dropRate: dropRate, jitter: jitterCycles, rng: seed}
+}
+
+// Now returns the device-local cycle count. Handlers on hosts shared
+// between worlds use it so every device keeps its own notion of time.
+func (w *World) Now() uint64 { return w.core.Clock.Cycles() }
+
+// Hz returns the device clock frequency.
+func (w *World) Hz() uint64 { return w.core.Clock.Hz() }
 
 // Send implements hw.Link: a frame transmitted by the device propagates
 // to its destination host after the link latency. Broadcast frames reach
-// every host on the segment.
+// every host on the segment. Always called from the owning goroutine (the
+// device's adaptor drives it).
 func (w *World) Send(frame []byte) {
-	w.FramesFromDevice++
+	atomic.AddUint64(&w.FramesFromDevice, 1)
+	if w.faults != nil && w.faults.drop() {
+		atomic.AddUint64(&w.Dropped, 1)
+		return
+	}
 	h, payload, err := netproto.DecodeHeader(frame)
 	if err != nil {
-		w.Dropped++
+		atomic.AddUint64(&w.Dropped, 1)
 		return
 	}
 	if h.Dst == netproto.Broadcast {
@@ -76,7 +134,7 @@ func (w *World) Send(frame []byte) {
 	}
 	host := w.hosts[h.Dst]
 	if host == nil {
-		w.Dropped++
+		atomic.AddUint64(&w.Dropped, 1)
 		return
 	}
 	p := append([]byte(nil), payload...)
@@ -84,11 +142,47 @@ func (w *World) Send(frame []byte) {
 }
 
 // SendToDevice delivers a frame to the device's adaptor after the link
-// latency (raising IRQNet on arrival).
+// latency (raising IRQNet on arrival). In concurrent mode it may be
+// called from any goroutine; the frame is queued and scheduled by the
+// next PumpInbox.
 func (w *World) SendToDevice(frame []byte) {
-	w.FramesToDevice++
 	f := append([]byte(nil), frame...)
-	w.core.After(w.Latency, func() { w.adaptor.Deliver(f) })
+	if w.concurrent {
+		w.inboxMu.Lock()
+		w.inbox = append(w.inbox, f)
+		w.inboxMu.Unlock()
+		return
+	}
+	w.deliver(f)
+}
+
+// PumpInbox moves frames queued by foreign goroutines into the core's
+// event queue, applying link latency and fault injection. Only the
+// owning goroutine may call it (fleet run loops call it between kernel
+// dispatches). It returns the number of frames scheduled or dropped.
+func (w *World) PumpInbox() int {
+	w.inboxMu.Lock()
+	frames := w.inbox
+	w.inbox = nil
+	w.inboxMu.Unlock()
+	for _, f := range frames {
+		w.deliver(f)
+	}
+	return len(frames)
+}
+
+// deliver schedules one inbound frame on the owning goroutine.
+func (w *World) deliver(frame []byte) {
+	atomic.AddUint64(&w.FramesToDevice, 1)
+	delay := w.Latency
+	if w.faults != nil {
+		if w.faults.drop() {
+			atomic.AddUint64(&w.Dropped, 1)
+			return
+		}
+		delay += w.faults.delay()
+	}
+	w.core.After(delay, func() { w.adaptor.Deliver(frame) })
 }
 
 // Reply is the convenience used by hosts: src/dst swapped relative to the
@@ -114,4 +208,34 @@ func (w *World) PingOfDeath(srcIP uint32) []byte {
 	frame[10] = 0xff
 	frame[11] = 0x03
 	return frame
+}
+
+// linkFaults is a deterministic xorshift64-based drop/delay injector.
+type linkFaults struct {
+	dropRate float64
+	jitter   uint64
+	rng      uint64
+}
+
+func (f *linkFaults) next() uint64 {
+	x := f.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	f.rng = x
+	return x
+}
+
+func (f *linkFaults) drop() bool {
+	if f.dropRate <= 0 {
+		return false
+	}
+	return float64(f.next()%(1<<53))/float64(1<<53) < f.dropRate
+}
+
+func (f *linkFaults) delay() uint64 {
+	if f.jitter == 0 {
+		return 0
+	}
+	return f.next() % f.jitter
 }

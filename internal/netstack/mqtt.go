@@ -19,6 +19,7 @@ const (
 	FnMQTTSubscribe = "mqtt_subscribe"
 	FnMQTTPublish   = "mqtt_publish"
 	FnMQTTWait      = "mqtt_wait"
+	FnMQTTClose     = "mqtt_close"
 )
 
 type mqttState struct {
@@ -36,13 +37,14 @@ func addMQTT(img *firmware.Image) {
 			{Name: FnMQTTSubscribe, MinStack: 6144, Entry: mqttSubscribe},
 			{Name: FnMQTTPublish, MinStack: 6144, Entry: mqttPublish},
 			{Name: FnMQTTWait, MinStack: 6144, Entry: mqttWait},
+			{Name: FnMQTTClose, MinStack: 6144, Entry: mqttClose},
 		},
 	})
 }
 
 // MQTTImports returns the imports for the MQTT compartment.
 func MQTTImports() []firmware.Import {
-	entries := []string{FnMQTTConnect, FnMQTTSubscribe, FnMQTTPublish, FnMQTTWait}
+	entries := []string{FnMQTTConnect, FnMQTTSubscribe, FnMQTTPublish, FnMQTTWait, FnMQTTClose}
 	out := make([]firmware.Import, 0, len(entries))
 	for _, e := range entries {
 		out = append(out, firmware.Import{Kind: firmware.ImportCall, Target: MQTT, Entry: e})
@@ -201,6 +203,28 @@ func mqttPublish(ctx api.Context, args []api.Value) []api.Value {
 		Payload: ctx.LoadBytes(payloadBuf.WithAddress(payloadBuf.Base()), payloadBuf.Length()),
 	}, 0, 0)
 	return api.EV(errno)
+}
+
+// mqttClose(delegatedAllocCap, handle) -> errno tears the session down:
+// the inner TLS connection (and its TCP socket) is closed and the sealed
+// MQTT handle freed back to the caller's quota, so reconnect churn (the
+// fleet load generator's -churn mode) does not leak heap.
+func mqttClose(ctx api.Context, args []api.Value) []api.Value {
+	if len(args) < 2 || !args[0].IsCap || !args[1].IsCap {
+		return api.EV(api.ErrInvalid)
+	}
+	if tls, errno := mqttTLS(ctx, args[1].Cap); errno == api.OK {
+		_, _ = ctx.Call(TLS, FnTLSClose, args[0], api.C(tls))
+	}
+	key, errno := mqttKey(ctx)
+	if errno != api.OK {
+		return api.EV(errno)
+	}
+	rets, err := ctx.Call(alloc.Name, alloc.EntryFreeSealed, args[0], api.C(key), args[1])
+	if err != nil {
+		return api.EV(api.ErrUnwound)
+	}
+	return api.EV(api.ErrnoOf(rets))
 }
 
 // mqttWait(handle, payloadOutBuf, timeout) -> (errno, n) blocks until a

@@ -6,6 +6,15 @@
 // Threads are goroutines in strict hand-off with the kernel goroutine:
 // exactly one runs at any moment, every switch point is explicit, and all
 // time is the hw.Core cycle clock, so the whole platform is deterministic.
+//
+// The package holds no process-global mutable state: the only
+// package-level variables are immutable (the ErrDeadlock sentinel and an
+// interface-conformance check), and everything mutable — threads, trace
+// ring, telemetry handles, heap bookkeeping — hangs off a Kernel. One
+// Kernel must be driven from one goroutine at a time, but independent
+// Kernels (one per simulated device) run concurrently without locking,
+// which is what the fleet simulator relies on (see internal/core's
+// TestSystemsRunConcurrently, run under -race).
 package switcher
 
 import (

@@ -108,7 +108,13 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // breakdown of where every simulated cycle went — followed by per-thread
 // attribution, counters, gauges, and histogram summaries.
 func (r *Registry) WriteTable(w io.Writer) {
-	s := r.Snapshot()
+	r.Snapshot().WriteTable(w)
+}
+
+// WriteTable renders the snapshot as the same human-readable table; it
+// also works on merged snapshots (see Merge), where the cycles are summed
+// across many registries.
+func (s Snapshot) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "cycle attribution (%d cycles accounted", s.AttributedCycles)
 	if s.BaseCycles > 0 {
 		fmt.Fprintf(w, ", after %d boot cycles", s.BaseCycles)

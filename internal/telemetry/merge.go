@@ -1,0 +1,145 @@
+package telemetry
+
+import "sort"
+
+// Merge combines snapshots taken from independent registries — one per
+// simulated device in a fleet run — into a single fleet-level snapshot:
+//
+//   - cycle accounts (compartments, threads) sum by name, with
+//     percentages recomputed against the merged attributed total;
+//   - counters and gauges sum by (compartment, metric) key;
+//   - histograms with identical bucket bounds merge bucket-wise; on a
+//     bounds mismatch the distribution degrades to count/sum/min/max
+//     (buckets dropped) rather than mixing incompatible bucket layouts;
+//   - BaseCycles and AttributedCycles sum, preserving the attribution
+//     invariant fleet-wide: merged AttributedCycles equals the sum over
+//     devices of (clock − base).
+//
+// The result is deterministic: every section is sorted the same way
+// regardless of input order (accounts by cycles descending then name,
+// metrics by key).
+func Merge(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	compartments := make(map[string]uint64)
+	threads := make(map[string]uint64)
+	counters := make(map[Key]int64)
+	gauges := make(map[Key]int64)
+	hists := make(map[Key]*HistogramSnapshot)
+
+	for _, s := range snaps {
+		if out.Hz == 0 {
+			out.Hz = s.Hz
+		}
+		out.BaseCycles += s.BaseCycles
+		out.AttributedCycles += s.AttributedCycles
+		out.TraceEvents += s.TraceEvents
+		out.TraceDropped += s.TraceDropped
+		for _, a := range s.Compartments {
+			compartments[a.Name] += a.Cycles
+		}
+		for _, a := range s.Threads {
+			threads[a.Name] += a.Cycles
+		}
+		for _, m := range s.Counters {
+			counters[Key{m.Compartment, m.Metric}] += m.Value
+		}
+		for _, m := range s.Gauges {
+			gauges[Key{m.Compartment, m.Metric}] += m.Value
+		}
+		for _, h := range s.Histograms {
+			mergeHistogram(hists, h)
+		}
+	}
+
+	out.Compartments = mergedAccounts(compartments, out.AttributedCycles)
+	out.Threads = mergedAccounts(threads, out.AttributedCycles)
+	out.Counters = mergedMetrics(counters)
+	out.Gauges = mergedMetrics(gauges)
+	out.Histograms = mergedHistograms(hists)
+	return out
+}
+
+func mergeHistogram(into map[Key]*HistogramSnapshot, h HistogramSnapshot) {
+	if h.Count == 0 {
+		return
+	}
+	k := Key{h.Compartment, h.Metric}
+	acc := into[k]
+	if acc == nil {
+		c := h
+		c.Bounds = append([]uint64(nil), h.Bounds...)
+		c.Counts = append([]uint64(nil), h.Counts...)
+		into[k] = &c
+		return
+	}
+	acc.Count += h.Count
+	acc.Sum += h.Sum
+	if h.Min < acc.Min {
+		acc.Min = h.Min
+	}
+	if h.Max > acc.Max {
+		acc.Max = h.Max
+	}
+	if len(acc.Bounds) == len(h.Bounds) && boundsEqual(acc.Bounds, h.Bounds) {
+		for i := range h.Counts {
+			acc.Counts[i] += h.Counts[i]
+		}
+	} else {
+		acc.Bounds, acc.Counts = nil, nil
+	}
+}
+
+func boundsEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mergedAccounts(m map[string]uint64, total uint64) []AccountSnapshot {
+	out := make([]AccountSnapshot, 0, len(m))
+	for name, cycles := range m {
+		a := AccountSnapshot{Name: name, Cycles: cycles}
+		if total > 0 {
+			a.Pct = 100 * float64(cycles) / float64(total)
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func mergedMetrics(m map[Key]int64) []MetricSnapshot {
+	out := make([]MetricSnapshot, 0, len(m))
+	for k, v := range m {
+		out = append(out, MetricSnapshot{Compartment: k.Compartment, Metric: k.Metric, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Compartment != out[j].Compartment {
+			return out[i].Compartment < out[j].Compartment
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+func mergedHistograms(m map[Key]*HistogramSnapshot) []HistogramSnapshot {
+	out := make([]HistogramSnapshot, 0, len(m))
+	for _, h := range m {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Compartment != out[j].Compartment {
+			return out[i].Compartment < out[j].Compartment
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}

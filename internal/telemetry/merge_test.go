@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeSnapshots(t *testing.T) {
+	a := Snapshot{
+		Hz: 33_000_000, BaseCycles: 100, AttributedCycles: 600,
+		Compartments: []AccountSnapshot{{Name: "alloc", Cycles: 400}, {Name: "sched", Cycles: 200}},
+		Threads:      []AccountSnapshot{{Name: "t0", Cycles: 600}},
+		Counters:     []MetricSnapshot{{Compartment: "mqtt", Metric: "publishes", Value: 3}},
+		Histograms: []HistogramSnapshot{{
+			Compartment: "fleet", Metric: "connect_cycles",
+			Count: 2, Sum: 30, Min: 10, Max: 20,
+			Bounds: []uint64{16, 64}, Counts: []uint64{1, 1, 0},
+		}},
+	}
+	b := Snapshot{
+		Hz: 33_000_000, BaseCycles: 50, AttributedCycles: 400,
+		Compartments: []AccountSnapshot{{Name: "alloc", Cycles: 100}, {Name: "tls", Cycles: 300}},
+		Counters: []MetricSnapshot{
+			{Compartment: "mqtt", Metric: "publishes", Value: 5},
+			{Compartment: "<switcher>", Metric: "traps", Value: 1},
+		},
+		Histograms: []HistogramSnapshot{{
+			Compartment: "fleet", Metric: "connect_cycles",
+			Count: 1, Sum: 100, Min: 100, Max: 100,
+			Bounds: []uint64{16, 64}, Counts: []uint64{0, 0, 1},
+		}},
+	}
+
+	m := Merge(a, b)
+	if m.Hz != 33_000_000 || m.BaseCycles != 150 || m.AttributedCycles != 1000 {
+		t.Fatalf("totals: %+v", m)
+	}
+	// Accounts sum by name and sort by cycles descending; the invariant
+	// Σ compartment cycles == merged AttributedCycles must hold exactly.
+	wantComp := []AccountSnapshot{
+		{Name: "alloc", Cycles: 500, Pct: 50},
+		{Name: "tls", Cycles: 300, Pct: 30},
+		{Name: "sched", Cycles: 200, Pct: 20},
+	}
+	if !reflect.DeepEqual(m.Compartments, wantComp) {
+		t.Fatalf("compartments: %+v", m.Compartments)
+	}
+	var sum uint64
+	for _, c := range m.Compartments {
+		sum += c.Cycles
+	}
+	if sum != m.AttributedCycles {
+		t.Fatalf("compartment cycles %d != attributed %d", sum, m.AttributedCycles)
+	}
+	wantCtr := []MetricSnapshot{
+		{Compartment: "<switcher>", Metric: "traps", Value: 1},
+		{Compartment: "mqtt", Metric: "publishes", Value: 8},
+	}
+	if !reflect.DeepEqual(m.Counters, wantCtr) {
+		t.Fatalf("counters: %+v", m.Counters)
+	}
+	if len(m.Histograms) != 1 {
+		t.Fatalf("histograms: %+v", m.Histograms)
+	}
+	h := m.Histograms[0]
+	if h.Count != 3 || h.Sum != 130 || h.Min != 10 || h.Max != 100 {
+		t.Fatalf("histogram totals: %+v", h)
+	}
+	if !reflect.DeepEqual(h.Counts, []uint64{1, 1, 1}) {
+		t.Fatalf("histogram buckets: %+v", h.Counts)
+	}
+
+	// Merging is input-order independent.
+	if !reflect.DeepEqual(Merge(b, a).Counters, m.Counters) {
+		t.Fatal("merge not order independent")
+	}
+}
+
+func TestMergeHistogramBoundsMismatch(t *testing.T) {
+	a := Snapshot{Histograms: []HistogramSnapshot{{
+		Compartment: "c", Metric: "m", Count: 1, Sum: 5, Min: 5, Max: 5,
+		Bounds: []uint64{10}, Counts: []uint64{1, 0},
+	}}}
+	b := Snapshot{Histograms: []HistogramSnapshot{{
+		Compartment: "c", Metric: "m", Count: 1, Sum: 50, Min: 50, Max: 50,
+		Bounds: []uint64{100}, Counts: []uint64{1, 0},
+	}}}
+	h := Merge(a, b).Histograms[0]
+	if h.Count != 2 || h.Sum != 55 || h.Min != 5 || h.Max != 50 {
+		t.Fatalf("mismatch merge: %+v", h)
+	}
+	if h.Bounds != nil || h.Counts != nil {
+		t.Fatalf("expected buckets dropped on bounds mismatch: %+v", h)
+	}
+}

@@ -23,6 +23,16 @@
 //
 // The package is a leaf: it imports nothing from the rest of the module,
 // so every layer (hw, switcher, alloc, sched, netstack) can use it.
+//
+// Concurrency: the package holds no process-global mutable state — the
+// only package-level variables are immutable bucket-bound defaults. All
+// counters, accounts, and trace state hang off a Registry, and each
+// Registry belongs to exactly one System, so independent Systems run on
+// concurrent goroutines without sharing telemetry (the fleet simulator
+// depends on this; internal/core's TestSystemsRunConcurrently enforces
+// it under -race). A single Registry is NOT internally locked: it must
+// only be driven from its System's goroutine. Fleet-level aggregation
+// happens after the fact via Merge on per-device Snapshots.
 package telemetry
 
 import "sort"

@@ -21,4 +21,8 @@ echo "ok"
 echo "== go test -race =="
 go test -race ./...
 
+echo "== fleet smoke run =="
+go run ./cmd/cheriot-fleet -devices 16 -duration 200ms -seed 1 >/dev/null
+echo "ok"
+
 echo "all checks passed"
