@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check trace fleet
+.PHONY: build test bench check trace fleet inspect
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,8 @@ trace:
 # 1000-device fleet against the shared simulated cloud.
 fleet:
 	$(GO) run ./cmd/cheriot-fleet -devices 1000 -duration 15s
+
+# Flight-recorder demo: a use-after-free caught by the black box, with
+# its capability-provenance chain.
+inspect:
+	$(GO) run ./cmd/cheriot-inspect -demo

@@ -38,6 +38,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed for arrival, jitter, and fault schedules")
 	metrics := flag.Bool("metrics", false, "print the fleet-merged cycle-attribution table")
 	jsonOut := flag.Bool("json", false, "print the deterministic summary as JSON on stdout")
+	noAudit := flag.Bool("no-audit", false, "skip the pre-launch policy audit of the representative image")
+	flightrec := flag.Int("flightrec", 0, "per-device flight-recorder ring capacity (0: off)")
+	pod := flag.Duration("pod", 0, "inject a ping of death into every device at this simulated time (0: off)")
+	dumpDir := flag.String("dump-dir", "", "write each crashed device's flight-recorder dump to this directory")
 	flag.Parse()
 
 	cfg := fleet.Config{
@@ -52,6 +56,12 @@ func main() {
 		JitterCycles:   *jitter,
 		ArrivalSpread:  *spread,
 		Seed:           *seed,
+		FlightRecorder: *flightrec,
+		PingOfDeathAt:  *pod,
+		SkipAudit:      *noAudit,
+	}
+	if *dumpDir != "" && *flightrec == 0 {
+		log.Fatal("fleet: -dump-dir needs -flightrec to enable the recorders")
 	}
 	res, err := fleet.Run(cfg)
 	if err != nil {
@@ -62,6 +72,30 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wall clock: boot %.2fs, run %.2fs (%d devices / %d shards, %.0fx real time)\n",
 		res.BootWall.Seconds(), res.RunWall.Seconds(), s.Devices, s.Shards,
 		s.SimSeconds*float64(s.Devices)/res.RunWall.Seconds())
+
+	if *dumpDir != "" {
+		if err := os.MkdirAll(*dumpDir, 0o755); err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		written := 0
+		for _, d := range res.Devices {
+			if d.Rec == nil || d.Rec.ReportsTotal() == 0 {
+				continue
+			}
+			dump := d.Sys.FlightDump()
+			path := fmt.Sprintf("%s/device-%05d.json", *dumpDir, d.Index)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatalf("fleet: %v", err)
+			}
+			if err := dump.WriteJSON(f); err != nil {
+				log.Fatalf("fleet: %v", err)
+			}
+			f.Close()
+			written++
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d crash dumps to %s (inspect with cheriot-inspect)\n", written, *dumpDir)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -88,6 +122,10 @@ func main() {
 		s.BrokerConnects, s.BrokerSubscribes, s.BrokerPublishes, s.BrokerLiveSessions)
 	fmt.Printf("capability faults: %d   cycle attribution exact: %v\n",
 		s.CapabilityFaults, s.CycleSumExact)
+	if s.CrashReports > 0 || cfg.FlightRecorder > 0 {
+		fmt.Printf("crash reports: %d on %d devices, %d micro-reboots\n",
+			s.CrashReports, s.CrashDevices, s.Reboots)
+	}
 	if *metrics {
 		fmt.Println()
 		s.Telemetry.WriteTable(os.Stdout)

@@ -1,0 +1,243 @@
+// cheriot-inspect reads flight-recorder dumps (the per-device black
+// boxes written by cheriot-fleet -dump-dir, or any Dump.WriteJSON) and
+// renders timelines, capability-provenance chains, per-compartment event
+// histograms, and Chrome-trace exports.
+//
+// Usage:
+//
+//	cheriot-inspect dump.json ...             # crash reports with provenance
+//	cheriot-inspect -timeline dump.json       # full event timeline
+//	cheriot-inspect -timeline -comp tcpip -op call -last 50 dump.json
+//	cheriot-inspect -hist dump1.json dump2.json   # aggregated histogram
+//	cheriot-inspect -chrome trace.json dump.json  # chrome://tracing export
+//	cheriot-inspect -demo                     # built-in use-after-free scenario
+//	cheriot-inspect -demo -o uaf.json         # ... and save its dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/cheriot-go/cheriot/internal/flightrec"
+	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/telemetry"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "run the built-in use-after-free scenario and inspect its black box")
+	out := flag.String("o", "", "with -demo: also write the scenario's dump JSON to this path")
+	timeline := flag.Bool("timeline", false, "print the event timeline")
+	comp := flag.String("comp", "", "timeline filter: only this compartment")
+	op := flag.String("op", "", "timeline filter: only this event op (e.g. call, alloc, trap)")
+	last := flag.Int("last", 0, "timeline filter: only the last N matching events")
+	hist := flag.Bool("hist", false, "print the per-compartment event histogram (aggregated over all dumps)")
+	chrome := flag.String("chrome", "", "write a chrome://tracing JSON export of the timeline to this path")
+	flag.Parse()
+
+	var dumps []*flightrec.Dump
+	if *demo {
+		d, err := demoDump()
+		if err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			if err := d.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote dump to %s\n", *out)
+		}
+		dumps = append(dumps, d)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := flightrec.ReadDump(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		dumps = append(dumps, d)
+	}
+	if len(dumps) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cheriot-inspect [-demo] [-timeline|-hist|-chrome out.json] dump.json ...")
+		os.Exit(2)
+	}
+
+	switch {
+	case *timeline:
+		for _, d := range dumps {
+			printTimeline(d, *comp, *op, *last)
+		}
+	case *hist:
+		printHistogram(dumps)
+	case *chrome != "":
+		if err := writeChrome(*chrome, dumps); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote chrome trace to %s\n", *chrome)
+	default:
+		printSummaries(dumps)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cheriot-inspect:", err)
+	os.Exit(1)
+}
+
+// printSummaries is the default view: one header per dump plus every
+// retained crash report, pretty-printed with its provenance chain.
+func printSummaries(dumps []*flightrec.Dump) {
+	for _, d := range dumps {
+		name := d.Device
+		if name == "" {
+			name = "(unnamed device)"
+		}
+		fmt.Printf("%s: %d events (%d dropped, ring capacity %d), %d live / %d freed allocations, %d crash reports\n",
+			name, len(d.Events), d.Dropped, d.Capacity, len(d.Live), len(d.Freed), len(d.Reports))
+		for i := range d.Reports {
+			flightrec.WriteReport(os.Stdout, &d.Reports[i])
+		}
+	}
+}
+
+// printTimeline renders a dump's events through the op/compartment/last
+// filters.
+func printTimeline(d *flightrec.Dump, comp, op string, last int) {
+	wantOp := flightrec.OpCount
+	if op != "" {
+		wantOp = flightrec.OpFromString(op)
+		if wantOp == flightrec.OpCount {
+			fatal(fmt.Errorf("unknown op %q", op))
+		}
+	}
+	var events []flightrec.Record
+	for _, ev := range d.Events {
+		if comp != "" && ev.Comp != comp && ev.From != comp {
+			continue
+		}
+		if op != "" && ev.Op != wantOp {
+			continue
+		}
+		events = append(events, ev)
+	}
+	if last > 0 && len(events) > last {
+		events = events[len(events)-last:]
+	}
+	if d.Device != "" {
+		fmt.Printf("--- %s ---\n", d.Device)
+	}
+	for _, ev := range events {
+		fmt.Println(flightrec.FormatRecord(ev))
+	}
+}
+
+// printHistogram aggregates per-compartment op counts across all dumps —
+// the fleet-wide view of where events concentrate.
+func printHistogram(dumps []*flightrec.Dump) {
+	agg := make(map[string]map[string]int)
+	for _, d := range dumps {
+		for comp, ops := range d.Histogram() {
+			m := agg[comp]
+			if m == nil {
+				m = make(map[string]int)
+				agg[comp] = m
+			}
+			for op, n := range ops {
+				m[op] += n
+			}
+		}
+	}
+	comps := make([]string, 0, len(agg))
+	for c := range agg {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		total := 0
+		ops := make([]string, 0, len(agg[c]))
+		for op, n := range agg[c] {
+			ops = append(ops, op)
+			total += n
+		}
+		sort.Strings(ops)
+		fmt.Printf("%-14s %6d events\n", c, total)
+		for _, op := range ops {
+			fmt.Printf("  %-14s %6d\n", op, agg[c][op])
+		}
+	}
+}
+
+// writeChrome converts the flight-recorder timeline into telemetry
+// events and reuses the telemetry layer's Chrome-trace exporter, so
+// dumps open directly in chrome://tracing / Perfetto.
+func writeChrome(path string, dumps []*flightrec.Dump) error {
+	hz := uint64(hw.DefaultHz)
+	if len(dumps) > 0 && dumps[0].Hz != 0 {
+		hz = dumps[0].Hz
+	}
+	total := 0
+	for _, d := range dumps {
+		total += len(d.Events)
+	}
+	reg := telemetry.NewRegistry(hz)
+	reg.EnableTrace(total + 1)
+	for _, d := range dumps {
+		for _, ev := range d.Events {
+			reg.Emit(toTelemetry(ev))
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return reg.WriteChromeTrace(f)
+}
+
+// toTelemetry maps one flight-recorder record onto the telemetry event
+// vocabulary (unknown ops become instant markers).
+func toTelemetry(ev flightrec.Record) telemetry.Event {
+	out := telemetry.Event{
+		Cycle: ev.Cycle, Thread: ev.Thread,
+		From: ev.From, To: ev.Comp, Entry: ev.Entry, Detail: ev.Detail,
+		Arg: ev.Arg,
+	}
+	switch ev.Op {
+	case flightrec.OpCall:
+		out.Kind = telemetry.KindCall
+	case flightrec.OpReturn:
+		out.Kind = telemetry.KindReturn
+	case flightrec.OpUnwind:
+		out.Kind = telemetry.KindUnwind
+	case flightrec.OpTrap:
+		out.Kind = telemetry.KindTrap
+	case flightrec.OpAlloc:
+		out.Kind = telemetry.KindAlloc
+	case flightrec.OpFree:
+		out.Kind = telemetry.KindFree
+	case flightrec.OpSweepStart:
+		out.Kind = telemetry.KindRevokerStart
+	case flightrec.OpSweepEnd:
+		out.Kind = telemetry.KindRevokerDone
+	case flightrec.OpFutexWait:
+		out.Kind = telemetry.KindFutexWait
+	case flightrec.OpFutexWake:
+		out.Kind = telemetry.KindFutexWake
+	default:
+		out.Kind = telemetry.KindMark
+		if out.Detail == "" {
+			out.Detail = ev.Op.String()
+		}
+	}
+	return out
+}

@@ -15,6 +15,7 @@ import (
 
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/loader"
 	"github.com/cheriot-go/cheriot/internal/switcher"
@@ -93,6 +94,10 @@ type Alloc struct {
 	// stats for the evaluation harness
 	allocCount, freeCount uint64
 	sweepWaits            uint64
+
+	// heapNode is the flight recorder's provenance root for the heap
+	// region, created lazily on the first recorded allocation.
+	heapNode uint32
 }
 
 // tel returns the kernel's telemetry registry (nil when disabled); every
@@ -102,6 +107,28 @@ func (a *Alloc) tel() *telemetry.Registry {
 		return nil
 	}
 	return a.k.Telemetry()
+}
+
+// rec returns the kernel's flight recorder (nil when disabled); all its
+// methods are nil-safe.
+func (a *Alloc) rec() *flightrec.Recorder {
+	if a.k == nil {
+		return nil
+	}
+	return a.k.FlightRecorder()
+}
+
+// recAlloc registers an allocation with the flight recorder, creating
+// the heap-region provenance root on first use.
+func (a *Alloc) recAlloc(q *quota, base, size uint32, sealed bool) {
+	rec := a.rec()
+	if !rec.Enabled() {
+		return
+	}
+	if a.heapNode == 0 {
+		a.heapNode = rec.Root(Name, a.heap.Base, a.heap.Top(), "shared heap")
+	}
+	rec.Alloc(a.heapNode, q.owner, q.name, base, size, sealed)
 }
 
 // New returns an unattached allocator.

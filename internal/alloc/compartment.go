@@ -90,6 +90,7 @@ func (a *Alloc) heapAllocate(ctx api.Context, args []api.Value) []api.Value {
 		return api.EV(errno)
 	}
 	a.allocs[base] = &allocation{base: base, size: size, owners: map[uint32]int{recAddr: 1}}
+	a.recAlloc(q, base, size, false)
 	return []api.Value{api.W(uint32(api.OK)), api.C(a.objectCap(base, size))}
 }
 
@@ -181,6 +182,7 @@ func (a *Alloc) release(ctx api.Context, recAddr uint32, q *quota, meta *allocat
 		tel.Emit(telemetry.Event{Kind: telemetry.KindFree,
 			From: q.owner, To: Name, Arg: uint64(meta.size)})
 	}
+	a.rec().Free(meta.base, q.owner, a.k.Core.Revoker.Epoch())
 	if hazardCovers(a.k.HazardSlots(), meta.base, meta.size) {
 		// An ephemeral claim pins the object; the free completes when the
 		// claim lapses (§3.2.5).
@@ -215,6 +217,7 @@ func (a *Alloc) heapClaim(ctx api.Context, args []api.Value) []api.Value {
 	ctx.Work(hw.HeapClaimCycles)
 	meta.owners[recAddr]++
 	q.used += meta.size
+	a.rec().Claim(meta.base, q.owner)
 	return api.EV(api.OK)
 }
 
@@ -256,6 +259,8 @@ func (a *Alloc) heapAllocateSealed(ctx api.Context, args []api.Value) []api.Valu
 	if err != nil {
 		panic(hw.TrapFromCapError(err, base))
 	}
+	a.recAlloc(q, base, size, true)
+	a.rec().Seal(q.owner, sealed, "heap_allocate_sealed")
 	return []api.Value{api.W(uint32(api.OK)), api.C(sealed)}
 }
 

@@ -10,6 +10,7 @@ package api
 
 import (
 	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
@@ -220,4 +221,9 @@ type Context interface {
 	// samples, and emit trace events; every registry handle is nil-safe, so
 	// instrumented code needs no enabled check.
 	Telemetry() *telemetry.Registry
+
+	// FlightRecorder returns the device's flight recorder, or nil when
+	// recording is disabled. Every recorder method is nil-safe, so
+	// instrumented code needs no enabled check.
+	FlightRecorder() *flightrec.Recorder
 }

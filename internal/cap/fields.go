@@ -1,0 +1,44 @@
+package cap
+
+import "fmt"
+
+// Fields is a plain-data dump of every architectural field of a
+// capability, used by post-mortem reports and JSON exports where the
+// compressed in-memory representation is unhelpful.
+type Fields struct {
+	Tag     bool   `json:"tag"`
+	Base    uint32 `json:"base"`
+	Top     uint32 `json:"top"`
+	Address uint32 `json:"address"`
+	Length  uint32 `json:"length"`
+	Perms   string `json:"perms"`
+	Sealed  bool   `json:"sealed"`
+	Type    uint32 `json:"otype,omitempty"`
+}
+
+// Fields expands the capability into its field dump.
+func (c Capability) Fields() Fields {
+	return Fields{
+		Tag:     c.Valid(),
+		Base:    c.Base(),
+		Top:     c.Top(),
+		Address: c.Address(),
+		Length:  c.Length(),
+		Perms:   c.Perms().String(),
+		Sealed:  c.Sealed(),
+		Type:    uint32(c.Type()),
+	}
+}
+
+// String renders the field dump in the same shape as Capability.String.
+func (f Fields) String() string {
+	tag := "v"
+	if !f.Tag {
+		tag = "!"
+	}
+	s := fmt.Sprintf("%s 0x%08x [0x%08x,0x%08x) %s", tag, f.Address, f.Base, f.Top, f.Perms)
+	if f.Sealed {
+		s += fmt.Sprintf(" otype=0x%x", f.Type)
+	}
+	return s
+}

@@ -58,6 +58,11 @@ func (r *Rebooter) Reboot(ctx api.Context) error {
 	}
 	r.Reboots++
 	r.LastDuration = r.Kernel.Core.Clock.Cycles() - start
+	if t := r.Kernel.ThreadByID(ctx.ThreadID()); t != nil {
+		r.Kernel.FlightRecorder().Reboot(r.Compartment, t.Name, r.Reboots)
+	} else {
+		r.Kernel.FlightRecorder().Reboot(r.Compartment, "", r.Reboots)
+	}
 	return nil
 }
 

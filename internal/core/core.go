@@ -13,7 +13,9 @@ import (
 	"fmt"
 
 	"github.com/cheriot-go/cheriot/internal/alloc"
+	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/loader"
 	"github.com/cheriot-go/cheriot/internal/sched"
 	"github.com/cheriot-go/cheriot/internal/switcher"
@@ -98,21 +100,71 @@ func (s *System) EnableTelemetry(traceCapacity int) *telemetry.Registry {
 		r.EnableTrace(traceCapacity)
 	}
 	s.Kernel.EnableTelemetry(r)
-	rev := s.Board.Core.Revoker
-	sweeps := r.Counter(alloc.Name, "revoker_sweeps")
-	rev.SetSweepHook(func(start bool, epoch uint64) {
-		if start {
-			r.Emit(telemetry.Event{Kind: telemetry.KindRevokerStart, Arg: epoch})
-			return
-		}
-		sweeps.Inc()
-		r.Emit(telemetry.Event{Kind: telemetry.KindRevokerDone, Arg: epoch})
-	})
+	s.armSweepHook()
 	return r
 }
 
 // Telemetry returns the registry installed by EnableTelemetry, or nil.
 func (s *System) Telemetry() *telemetry.Registry { return s.Kernel.Telemetry() }
+
+// EnableFlightRecorder attaches a flight recorder with an event ring of
+// the given capacity: the always-on black box recording capability
+// derivations, cross-compartment calls, heap traffic, revocation sweeps,
+// futex activity, and — on every capability fault — a structured
+// post-mortem report with a backwards provenance walk. capacity <= 0
+// disables recording. It returns the recorder.
+func (s *System) EnableFlightRecorder(capacity int) *flightrec.Recorder {
+	rec := flightrec.New(capacity)
+	rec.SetDevice(s.Image.Name)
+	s.Kernel.EnableFlightRecorder(rec)
+	s.armSweepHook()
+	if rec.Enabled() {
+		s.Board.Core.Mem.SetLoadFilterHook(func(c cap.Capability) {
+			comp := ""
+			if t := s.Kernel.Running(); t != nil {
+				comp = t.CurrentCompartment()
+			}
+			rec.LoadFiltered(comp, c)
+		})
+	} else {
+		s.Board.Core.Mem.SetLoadFilterHook(nil)
+	}
+	return rec
+}
+
+// FlightRecorder returns the recorder installed by EnableFlightRecorder,
+// or nil.
+func (s *System) FlightRecorder() *flightrec.Recorder { return s.Kernel.FlightRecorder() }
+
+// FlightDump snapshots the flight recorder into its serializable dump
+// (zero-valued when recording is disabled).
+func (s *System) FlightDump() flightrec.Dump {
+	return s.Kernel.FlightRecorder().Snapshot(s.Board.Core.Clock.Hz())
+}
+
+// armSweepHook installs one composite revoker sweep observer feeding both
+// the telemetry registry and the flight recorder, whichever are enabled.
+// EnableTelemetry and EnableFlightRecorder both call it, in any order.
+func (s *System) armSweepHook() {
+	rev := s.Board.Core.Revoker
+	rev.SetSweepHook(func(start bool, epoch, granules uint64) {
+		if r := s.Kernel.Telemetry(); r != nil {
+			if start {
+				r.Emit(telemetry.Event{Kind: telemetry.KindRevokerStart, Arg: epoch})
+			} else {
+				r.Counter(alloc.Name, "revoker_sweeps").Inc()
+				r.Emit(telemetry.Event{Kind: telemetry.KindRevokerDone, Arg: epoch})
+			}
+		}
+		if rec := s.Kernel.FlightRecorder(); rec.Enabled() {
+			if start {
+				rec.SweepStart(epoch)
+			} else {
+				rec.SweepEnd(epoch, granules)
+			}
+		}
+	})
+}
 
 // Run drives the machine until every thread exits, stop returns true, or
 // the system deadlocks.

@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"fmt"
+
+	"github.com/cheriot-go/cheriot/internal/audit"
+	"github.com/cheriot-go/cheriot/internal/core"
+	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/netstack"
+)
+
+// FleetPolicy is the integrator policy every fleet device must satisfy
+// before launch. The canonical copy lives at policies/fleet-device.rego
+// (a sync test keeps the two identical); it is compiled in here so the
+// pre-launch gate needs no filesystem access.
+const FleetPolicy = `# Integrator policy for the fleet device firmware.
+#
+# Check with:
+#   go run ./cmd/cheriot-audit -fleet > /tmp/fleet.json
+#   go run ./cmd/cheriot-audit -report /tmp/fleet.json -policy policies/fleet-device.rego
+
+# Exactly one compartment may reconfigure the firewall: the network API.
+rule single_firewall_configurer {
+	count(compartments_calling_entry("firewall", "fw_allow")) == 1
+}
+rule netapi_is_the_configurer {
+	contains(compartments_calling_entry("firewall", "fw_allow"), "netapi")
+}
+
+# Only the firewall compartment touches the NIC registers.
+rule nic_exclusive {
+	count(compartments_with_mmio("net")) == 1 &&
+	contains(compartments_with_mmio("net"), "firewall")
+}
+
+# The fleet application must not bypass the stack: DNS, SNTP, MQTT, and
+# the scheduler only — never the firewall or TCP/IP directly.
+rule fleetapp_cannot_touch_firewall {
+	!contains(compartments_calling("firewall"), "fleetapp")
+}
+rule fleetapp_cannot_touch_tcpip {
+	!contains(compartments_calling("tcpip"), "fleetapp")
+}
+
+# Availability: quotas must fit the heap, and the fault-prone TCP/IP
+# compartment must be micro-rebootable (it has an error handler).
+rule quotas_fit_heap {
+	sum_quotas() <= heap_size()
+}
+rule tcpip_is_fault_tolerant {
+	has_error_handler("tcpip")
+}
+
+# Interrupt posture stays auditable: a bounded set of IRQ-disabling
+# entry points.
+rule bounded_irq_disable {
+	count(exports_with_posture("disabled")) <= 16
+}
+`
+
+// RepresentativeImage builds the firmware image every fleet device
+// shares, without booting it — the subject of the pre-launch audit.
+// All devices are stamped from this one shape (only the IP and topic
+// differ), so auditing one image covers the whole fleet.
+func RepresentativeImage(cfg Config) *firmware.Image {
+	cfg = cfg.withDefaults()
+	d := &Device{Index: 0, IP: deviceIP(0), Topic: "fleet/0", cfg: &cfg}
+	img := core.NewImage("fleet-representative")
+	netstack.AddTo(img, netstack.Config{
+		DeviceIP:   d.IP,
+		UseDHCP:    true,
+		GatewayIP:  GatewayIP,
+		DNSServer:  DNSIP,
+		NTPServer:  NTPIP,
+		RootSecret: RootSecret,
+	})
+	d.addApp(img)
+	return img
+}
+
+// Report boots the representative image once (the loader adds the TCB
+// compartments the raw image lacks) and returns its linker audit report.
+func Report(cfg Config) (*firmware.Report, error) {
+	sys, err := core.Boot(RepresentativeImage(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("fleet audit: boot representative image: %w", err)
+	}
+	defer sys.Shutdown()
+	return sys.Report, nil
+}
+
+// Audit checks the representative image against FleetPolicy and returns
+// the result (audit errors wrapped).
+func Audit(cfg Config) (*audit.Result, error) {
+	report, err := Report(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := audit.CheckSource(FleetPolicy, report)
+	if err != nil {
+		return nil, fmt.Errorf("fleet audit: %w", err)
+	}
+	return res, nil
+}
+
+// auditGate is the pre-launch check Run performs unless Config.SkipAudit
+// is set: a policy failure refuses the launch.
+func auditGate(cfg Config) error {
+	res, err := Audit(cfg)
+	if err != nil {
+		return err
+	}
+	if !res.Passed() {
+		return fmt.Errorf("fleet audit: launch refused, policy violations: %v", res.Failures())
+	}
+	return nil
+}

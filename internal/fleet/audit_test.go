@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"os"
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/audit"
+)
+
+// TestFleetAuditPasses: the shipped fleet firmware satisfies its own
+// launch policy (this is the gate every Run() crosses).
+func TestFleetAuditPasses(t *testing.T) {
+	res, err := Audit(Config{})
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if !res.Passed() {
+		t.Fatalf("fleet policy violations: %v", res.Failures())
+	}
+}
+
+// TestFleetAuditGateRefuses: a firmware shape that breaks the policy
+// must refuse to launch. The report is mutated the way a supply-chain
+// attack would look (TCP/IP loses its error handler, so micro-reboot
+// recovery is gone).
+func TestFleetAuditGateRefuses(t *testing.T) {
+	report, err := Report(Config{})
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	tcpip, ok := report.Compartments["tcpip"]
+	if !ok {
+		t.Fatal("report has no tcpip compartment")
+	}
+	tcpip.HasErrorHandler = false
+	report.Compartments["tcpip"] = tcpip
+
+	res, err := audit.CheckSource(FleetPolicy, report)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if res.Passed() {
+		t.Fatal("policy passed a firmware without TCP/IP fault tolerance")
+	}
+	found := false
+	for _, f := range res.Failures() {
+		if f == "tcpip_is_fault_tolerant" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected tcpip_is_fault_tolerant to fail, got %v", res.Failures())
+	}
+}
+
+// TestFleetPolicyFileInSync keeps the compiled-in policy identical to
+// the canonical copy integrators read at policies/fleet-device.rego.
+func TestFleetPolicyFileInSync(t *testing.T) {
+	b, err := os.ReadFile("../../policies/fleet-device.rego")
+	if err != nil {
+		t.Fatalf("read canonical policy: %v", err)
+	}
+	if string(b) != FleetPolicy {
+		t.Fatal("policies/fleet-device.rego has drifted from fleet.FleetPolicy; keep them identical")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/core"
 	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/netproto"
 	"github.com/cheriot-go/cheriot/internal/netsim"
@@ -60,6 +61,10 @@ type Device struct {
 	Sys   *core.System
 	World *netsim.World
 	Tel   *telemetry.Registry
+	// Rec is the device's flight recorder (nil when disabled); Stack
+	// exposes the netstack's micro-reboot driver.
+	Rec   *flightrec.Recorder
+	Stack *netstack.Stack
 	Stats DeviceStats
 	// Err records a run failure (e.g. kernel deadlock); nil for devices
 	// that reached the horizon.
@@ -108,6 +113,7 @@ func buildDevice(cfg *Config, cloud *Cloud, i int) (*Device, error) {
 		return nil, fmt.Errorf("device %d: %w", i, err)
 	}
 	d.Sys = sys
+	d.Stack = stack
 	stack.Attach(sys.Kernel)
 
 	d.World = netsim.NewWorld(sys.Board.Core, sys.Board.Net, d.IP)
@@ -118,6 +124,17 @@ func buildDevice(cfg *Config, cloud *Cloud, i int) (*Device, error) {
 	cloud.attach(d.World, d.IP)
 
 	d.Tel = sys.EnableTelemetry(cfg.TraceCapacity)
+	if cfg.FlightRecorder > 0 {
+		d.Rec = sys.EnableFlightRecorder(cfg.FlightRecorder)
+	}
+	if at := cfg.pingOfDeathCycles(); at > 0 {
+		// The fault campaign: one malformed frame per device at a fixed
+		// simulated time, scheduled on the device's own clock so the
+		// injection is deterministic in every run mode.
+		sys.Board.Core.At(at, func() {
+			d.World.InjectRaw(d.World.PingOfDeath(BrokerIP))
+		})
+	}
 	return d, nil
 }
 

@@ -66,6 +66,18 @@ type Config struct {
 	// TraceCapacity sizes each device's telemetry trace ring (0: counters
 	// and histograms only).
 	TraceCapacity int
+	// FlightRecorder sizes each device's flight-recorder event ring
+	// (0 disables the black box).
+	FlightRecorder int
+	// PingOfDeathAt, when non-zero, injects one malformed "ping of
+	// death" ICMP frame (spoofed from the broker, so it passes the
+	// ingress filter) into every device at this simulated time — the
+	// §5.3.3 fault campaign. Devices need ~11 simulated seconds to
+	// connect before the spoofed source is allowed through.
+	PingOfDeathAt time.Duration
+	// SkipAudit skips the pre-launch policy audit of the representative
+	// firmware image (the -no-audit escape hatch).
+	SkipAudit bool
 }
 
 // quantumCycles is how far a shard advances one device before moving to
@@ -116,6 +128,13 @@ func (c Config) arrivalSpreadCycles() uint64 {
 	return uint64(c.ArrivalSpread.Microseconds()) * (hw.DefaultHz / 1_000_000)
 }
 
+func (c Config) pingOfDeathCycles() uint64 {
+	if c.PingOfDeathAt <= 0 {
+		return 0
+	}
+	return uint64(c.PingOfDeathAt.Microseconds()) * (hw.DefaultHz / 1_000_000)
+}
+
 // Summary is the deterministic digest of a fleet run: everything here is
 // a pure function of Config (including Seed). No wall-clock quantities.
 type Summary struct {
@@ -164,6 +183,13 @@ type Summary struct {
 	// CapabilityFaults is the fleet-wide switcher trap count; a healthy
 	// workload runs with zero.
 	CapabilityFaults int64 `json:"capability_faults"`
+	// CrashReports counts the flight-recorder post-mortem reports across
+	// all devices (0 when recorders are disabled or no faults occurred);
+	// CrashDevices is how many devices produced at least one.
+	CrashReports uint64 `json:"crash_reports"`
+	CrashDevices int    `json:"crash_devices"`
+	// Reboots is the fleet-wide micro-reboot total.
+	Reboots int `json:"reboots"`
 	// CycleSumExact asserts the telemetry invariant across the whole
 	// fleet: for every device AttributedCycles == clock − base, and the
 	// merged per-compartment cycles sum exactly to the merged
@@ -189,6 +215,14 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Devices > maxDevices {
 		return nil, fmt.Errorf("fleet: %d devices exceeds the %d address pool", cfg.Devices, maxDevices)
+	}
+	// Pre-launch audit gate: every device is stamped from one firmware
+	// shape, so one policy check covers the fleet. A violation refuses
+	// the launch before any device boots.
+	if !cfg.SkipAudit {
+		if err := auditGate(cfg); err != nil {
+			return nil, err
+		}
 	}
 	cloud := newCloud()
 	horizon := cfg.horizonCycles()
@@ -321,6 +355,14 @@ func summarize(cfg Config, cloud *Cloud, devices []*Device) Summary {
 		s.FramesFromDevices += d.World.FramesFromDevice
 		s.FramesToDevices += d.World.FramesToDevice
 		s.FramesDropped += d.World.Dropped
+
+		if d.Rec != nil && d.Rec.ReportsTotal() > 0 {
+			s.CrashReports += d.Rec.ReportsTotal()
+			s.CrashDevices++
+		}
+		if d.Stack != nil {
+			s.Reboots += d.Stack.TCPIPRebooter.Reboots
+		}
 	}
 
 	if s.SimSeconds > 0 {

@@ -18,16 +18,18 @@ type Revoker struct {
 	budget   uint64 // fractional cycles banked toward the next granule
 	queued   bool   // a sweep was requested while one was running
 	rate     uint64 // cycles per granule
+	visited  uint64 // granules scanned by the current sweep
 	onDone   func() // raises IRQRevoker
 
-	// onSweep, when set, observes sweep lifecycle for the telemetry layer:
-	// called with start=true when a sweep begins and start=false when it
-	// completes, with the epoch after the transition.
-	onSweep func(start bool, epoch uint64)
+	// onSweep, when set, observes sweep lifecycle for the telemetry and
+	// flight-recorder layers: called with start=true when a sweep begins
+	// and start=false when it completes, with the epoch after the
+	// transition and (on completion) the number of granules scanned.
+	onSweep func(start bool, epoch, granules uint64)
 }
 
 // SetSweepHook installs (or clears, with nil) the sweep observer.
-func (r *Revoker) SetSweepHook(hook func(start bool, epoch uint64)) {
+func (r *Revoker) SetSweepHook(hook func(start bool, epoch, granules uint64)) {
 	r.onSweep = hook
 }
 
@@ -62,8 +64,9 @@ func (r *Revoker) Request() {
 	r.epoch++ // becomes odd: sweeping
 	r.sweepPtr = 0
 	r.budget = 0
+	r.visited = 0
 	if r.onSweep != nil {
-		r.onSweep(true, r.epoch)
+		r.onSweep(true, r.epoch, 0)
 	}
 }
 
@@ -78,11 +81,13 @@ func (r *Revoker) Step(cycles uint64) {
 		return
 	}
 	r.budget -= uint64(granules) * r.rate
+	before := r.sweepPtr
 	r.sweepPtr = r.mem.SweepGranules(r.sweepPtr, granules)
+	r.visited += uint64(r.sweepPtr - before)
 	if r.sweepPtr >= r.mem.Granules() {
 		r.epoch++ // becomes even: idle
 		if r.onSweep != nil {
-			r.onSweep(false, r.epoch)
+			r.onSweep(false, r.epoch, r.visited)
 		}
 		if r.onDone != nil {
 			r.onDone()

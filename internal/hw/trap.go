@@ -63,6 +63,10 @@ type Trap struct {
 	Addr uint32
 	// Detail is a human-readable elaboration for diagnostics.
 	Detail string
+	// Cap is the offending capability when the fault was raised while
+	// exercising one (zero-value otherwise); the flight recorder dumps
+	// its fields and resolves its provenance in post-mortem reports.
+	Cap cap.Capability
 }
 
 // Error implements error.
@@ -90,4 +94,12 @@ func TrapFromCapError(err error, addr uint32) *Trap {
 		code = TrapTypeViolation
 	}
 	return &Trap{Code: code, Addr: addr, Detail: err.Error()}
+}
+
+// TrapWithCap is TrapFromCapError carrying the offending capability for
+// post-mortem forensics.
+func TrapWithCap(err error, addr uint32, c cap.Capability) *Trap {
+	t := TrapFromCapError(err, addr)
+	t.Cap = c
+	return t
 }

@@ -25,6 +25,18 @@ type Memory struct {
 	tags    bitmap                    // granule index -> tag bit
 	revoked bitmap                    // granule index -> revocation bit
 	windows []window                  // MMIO windows, above len(data)
+
+	// onLoadFilter, when set, observes the load filter clearing the tag
+	// of a revoked capability — the earliest observable evidence of a
+	// dangling pointer, recorded by the flight recorder.
+	onLoadFilter func(c cap.Capability)
+}
+
+// SetLoadFilterHook installs (or clears, with nil) the load-filter
+// observer, called with the capability (pre-untagging) whenever the load
+// filter clears a tag.
+func (m *Memory) SetLoadFilterHook(hook func(c cap.Capability)) {
+	m.onLoadFilter = hook
 }
 
 // New returns zeroed SRAM of the given size, which must be a multiple of
@@ -166,6 +178,9 @@ func (m *Memory) LoadCap(auth cap.Capability) (cap.Capability, error) {
 	}
 	loaded = cap.Attenuate(loaded, auth)
 	if loaded.Valid() && m.isRevoked(loaded.Base()) && !auth.Perms().Has(cap.PermUser0) {
+		if m.onLoadFilter != nil {
+			m.onLoadFilter(loaded)
+		}
 		loaded = loaded.ClearTag()
 	}
 	return loaded, nil

@@ -3,12 +3,14 @@ package netstack_test
 import (
 	"testing"
 
+	"github.com/cheriot-go/cheriot/internal/alloc"
 	"github.com/cheriot-go/cheriot/internal/api"
 	"github.com/cheriot-go/cheriot/internal/core"
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/netproto"
 	"github.com/cheriot-go/cheriot/internal/netsim"
 	"github.com/cheriot-go/cheriot/internal/netstack"
+	"github.com/cheriot-go/cheriot/internal/sched"
 )
 
 var (
@@ -289,5 +291,78 @@ func TestPingOfDeathMicroReboot(t *testing.T) {
 	ms := float64(r.stack.TCPIPRebooter.LastDuration) / 33_000_000 * 1000
 	if ms > 270 {
 		t.Fatalf("micro-reboot took %.1f ms, paper reports 270 ms", ms)
+	}
+}
+
+// TestMQTTCloseReconnectChurn opens, closes, and reopens the MQTT/TLS
+// session repeatedly and asserts the broker saw every session come and
+// go (none left live) and that the cycle leaks no capabilities: the
+// app's heap quota returns to its pre-connect level, and the device's
+// flight recorder shows no live heap allocations owned by the app or
+// the MQTT compartment once the last session closes.
+func TestMQTTCloseReconnectChurn(t *testing.T) {
+	const rounds = 4
+	var quotaBefore, quotaAfter uint32
+	r := buildRig(t, func(ctx api.Context, args []api.Value) []api.Value {
+		cl := alloc.Client{}
+		quota := func() api.Value { return api.C(ctx.SealedImport("default")) }
+		topic := ctx.StackAlloc(16)
+		ctx.StoreBytes(topic, []byte("devices/led"))
+		tview, _ := topic.SetBounds(uint32(len("devices/led")))
+
+		var errno api.Errno
+		if quotaBefore, errno = cl.QuotaRemaining(ctx); errno != api.OK {
+			t.Errorf("quota before: %v", errno)
+			return nil
+		}
+		for i := 0; i < rounds; i++ {
+			rets, err := ctx.Call(netstack.MQTT, netstack.FnMQTTConnect,
+				quota(), api.W(brokerIP), api.W(netproto.PortMQTT), api.W(10_000_000))
+			if err != nil || api.ErrnoOf(rets) != api.OK {
+				t.Errorf("round %d connect: %v %v", i, err, rets)
+				return nil
+			}
+			handle := rets[1]
+			rets, err = ctx.Call(netstack.MQTT, netstack.FnMQTTSubscribe,
+				handle, api.C(tview), api.W(10_000_000))
+			if err != nil || api.ErrnoOf(rets) != api.OK {
+				t.Errorf("round %d subscribe: %v", i, err)
+				return nil
+			}
+			rets, err = ctx.Call(netstack.MQTT, netstack.FnMQTTClose, quota(), handle)
+			if err != nil || api.ErrnoOf(rets) != api.OK {
+				t.Errorf("round %d close: %v %v", i, err, rets)
+				return nil
+			}
+		}
+		if quotaAfter, errno = cl.QuotaRemaining(ctx); errno != api.OK {
+			t.Errorf("quota after: %v", errno)
+		}
+		// Let the final close's teardown frames reach the broker before
+		// the run stops.
+		_, _ = ctx.Call(sched.Name, sched.EntrySleep, api.W(50_000_000))
+		return nil
+	}, append(alloc.Imports(),
+		firmware.Import{Kind: firmware.ImportCall, Target: sched.Name, Entry: sched.EntrySleep})...)
+	rec := r.sys.EnableFlightRecorder(2048)
+	r.run(t, 3_000_000_000)
+
+	if quotaBefore == 0 || quotaAfter != quotaBefore {
+		t.Errorf("heap quota leaked across churn: %d before, %d after", quotaBefore, quotaAfter)
+	}
+	if r.broker.Connects != rounds {
+		t.Errorf("broker connects = %d, want %d", r.broker.Connects, rounds)
+	}
+	if r.broker.Subscribes != rounds {
+		t.Errorf("broker subscribes = %d, want %d", r.broker.Subscribes, rounds)
+	}
+	if live := r.broker.LiveSessions(); live != 0 {
+		t.Errorf("broker still holds %d live sessions after the last close", live)
+	}
+	for _, a := range rec.LiveAllocations() {
+		if a.Owner == "app" || a.Owner == netstack.MQTT {
+			t.Errorf("leaked capability: live allocation #%d (%d bytes at 0x%08x) owned by %q",
+				a.Seq, a.Size, a.Base, a.Owner)
+		}
 	}
 }

@@ -81,6 +81,7 @@ func (s *Sched) futexWait(ctx api.Context, args []api.Value) []api.Value {
 		tel.Emit(telemetry.Event{Kind: telemetry.KindFutexWait,
 			Thread: t.Name, From: ctx.Caller(), Arg: uint64(word.Address())})
 	}
+	ctx.FlightRecorder().FutexWait(t.Name, ctx.Caller(), word.Address())
 	w := &waiter{t: t, addrs: []uint32{word.Address()}, wokenBy: noWaker}
 	s.register(w)
 	if timeout > 0 {
@@ -116,6 +117,9 @@ func (s *Sched) futexWake(ctx api.Context, args []api.Value) []api.Value {
 		n = -1
 	}
 	woken := s.wake(word.Address(), n)
+	if woken > 0 {
+		ctx.FlightRecorder().FutexWake(ctx.Caller(), word.Address(), woken)
+	}
 	return []api.Value{api.W(uint32(woken))}
 }
 

@@ -6,6 +6,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/api"
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/hw"
 )
 
@@ -79,6 +80,7 @@ func (k *Kernel) compartmentCall(t *Thread, caller *Comp, target, entry string, 
 	}
 	k.record(TraceEvent{Kind: TraceCall, Thread: t.Name,
 		From: callerName, To: target, Entry: entry})
+	k.rec.Call(t.Name, callerName, target, entry, recPosture(exp.Posture))
 
 	// Ephemeral claims last until the thread's next compartment call
 	// (§3.2.5).
@@ -149,11 +151,26 @@ func (k *Kernel) compartmentCall(t *Thread, caller *Comp, target, entry string, 
 	if fault != nil {
 		k.ctrUnwinds.Inc()
 		k.record(TraceEvent{Kind: TraceUnwind, Thread: t.Name, To: target})
+		k.rec.Unwind(t.Name, target)
 		return nil, &Fault{Trap: fault, Compartment: target}
 	}
 	k.record(TraceEvent{Kind: TraceReturn, Thread: t.Name,
 		From: callerName, To: target, Entry: entry})
+	k.rec.Return(t.Name, callerName, target, entry)
 	return rets, nil
+}
+
+// recPosture maps a firmware interrupt posture to the flight recorder's
+// wire codes.
+func recPosture(p firmware.Posture) uint64 {
+	switch p {
+	case firmware.PostureDisabled:
+		return flightrec.PostureDisabled
+	case firmware.PostureEnabled:
+		return flightrec.PostureEnabled
+	default:
+		return flightrec.PostureInherit
+	}
 }
 
 // runEntry invokes the entry function, converting trap panics into error
@@ -188,6 +205,13 @@ func (k *Kernel) runEntry(t *Thread, callee *Comp, exp *firmware.Export, args []
 		k.ctrTraps.Inc()
 		k.record(TraceEvent{Kind: TraceTrap, Thread: t.Name,
 			To: callee.Name(), Detail: fault.Code.String()})
+		if fault.Code != hw.TrapForcedUnwind {
+			// Snapshot the black box into a post-mortem report: the
+			// forced-unwind case is the switcher evicting the thread, not a
+			// capability fault, so it gets no report of its own.
+			k.rec.Fault(t.Name, callee.Name(), exp.Name, fault.Addr,
+				fault.Code.String(), fault.Detail, fault.Cap)
+		}
 		// A forced unwind (micro-reboot) always tears the thread out; the
 		// handler must not intercept it.
 		if fault.Code == hw.TrapForcedUnwind {

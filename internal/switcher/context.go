@@ -5,6 +5,7 @@ import (
 
 	"github.com/cheriot-go/cheriot/internal/api"
 	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
@@ -39,9 +40,12 @@ func (c *ctx) checkLive() {
 	}
 }
 
-func (c *ctx) trapIf(err error, addr uint32) {
+// trapIf raises the hardware trap for a capability-rule error, carrying
+// the capability being exercised so post-mortem reports can dump its
+// fields and resolve its provenance.
+func (c *ctx) trapIf(err error, cc cap.Capability) {
 	if err != nil {
-		panic(hw.TrapFromCapError(err, addr))
+		panic(hw.TrapWithCap(err, cc.Address(), cc))
 	}
 }
 
@@ -52,6 +56,10 @@ func (c *ctx) Compartment() string { return c.comp.Name() }
 // compartment code instruments unconditionally and pays one nil check when
 // telemetry is disabled.
 func (c *ctx) Telemetry() *telemetry.Registry { return c.k.tel }
+
+// FlightRecorder implements api.Context. The recorder's methods are
+// nil-safe, so compartment code records unconditionally.
+func (c *ctx) FlightRecorder() *flightrec.Recorder { return c.k.rec }
 
 // Caller implements api.Context, reading the trusted stack.
 func (c *ctx) Caller() string {
@@ -69,7 +77,7 @@ func (c *ctx) Load32(cc cap.Capability) uint32 {
 	c.checkLive()
 	c.k.Core.Tick(hw.CopyCost(4))
 	v, err := c.k.Core.Mem.Load32(cc)
-	c.trapIf(err, cc.Address())
+	c.trapIf(err, cc)
 	c.t.maybePreempt()
 	return v
 }
@@ -78,7 +86,7 @@ func (c *ctx) Load32(cc cap.Capability) uint32 {
 func (c *ctx) Store32(cc cap.Capability, v uint32) {
 	c.checkLive()
 	c.k.Core.Tick(hw.CopyCost(4))
-	c.trapIf(c.k.Core.Mem.Store32(cc, v), cc.Address())
+	c.trapIf(c.k.Core.Mem.Store32(cc, v), cc)
 	c.t.maybePreempt()
 }
 
@@ -87,7 +95,7 @@ func (c *ctx) LoadBytes(cc cap.Capability, n uint32) []byte {
 	c.checkLive()
 	c.k.Core.Tick(hw.CopyCost(n))
 	b, err := c.k.Core.Mem.LoadBytes(cc, n)
-	c.trapIf(err, cc.Address())
+	c.trapIf(err, cc)
 	c.t.maybePreempt()
 	return b
 }
@@ -96,7 +104,7 @@ func (c *ctx) LoadBytes(cc cap.Capability, n uint32) []byte {
 func (c *ctx) StoreBytes(cc cap.Capability, b []byte) {
 	c.checkLive()
 	c.k.Core.Tick(hw.CopyCost(uint32(len(b))))
-	c.trapIf(c.k.Core.Mem.StoreBytes(cc, b), cc.Address())
+	c.trapIf(c.k.Core.Mem.StoreBytes(cc, b), cc)
 	c.t.maybePreempt()
 }
 
@@ -106,7 +114,7 @@ func (c *ctx) LoadCap(cc cap.Capability) cap.Capability {
 	// Two bus reads on the 33-bit bus (§5.3).
 	c.k.Core.Tick(hw.CopyCost(8))
 	v, err := c.k.Core.Mem.LoadCap(cc)
-	c.trapIf(err, cc.Address())
+	c.trapIf(err, cc)
 	c.t.maybePreempt()
 	return v
 }
@@ -115,7 +123,7 @@ func (c *ctx) LoadCap(cc cap.Capability) cap.Capability {
 func (c *ctx) StoreCap(at, v cap.Capability) {
 	c.checkLive()
 	c.k.Core.Tick(hw.CopyCost(8))
-	c.trapIf(c.k.Core.Mem.StoreCap(at, v), at.Address())
+	c.trapIf(c.k.Core.Mem.StoreCap(at, v), at)
 	c.t.maybePreempt()
 }
 
@@ -123,7 +131,7 @@ func (c *ctx) StoreCap(at, v cap.Capability) {
 func (c *ctx) Zero(cc cap.Capability, n uint32) {
 	c.checkLive()
 	c.k.Core.Tick(hw.ZeroCost(n))
-	c.trapIf(c.k.Core.Mem.Zero(cc, n), cc.Address())
+	c.trapIf(c.k.Core.Mem.Zero(cc, n), cc)
 	c.t.maybePreempt()
 }
 
@@ -202,8 +210,16 @@ func (c *ctx) StackAlloc(n uint32) cap.Capability {
 	if fr.base < c.t.dirtyFloor {
 		c.t.dirtyFloor = fr.base // the frame is (potentially) dirty now
 	}
-	buf, err := c.t.stackCap.WithAddress(base).SetBounds(n)
-	c.trapIf(err, base)
+	at := c.t.stackCap.WithAddress(base)
+	buf, err := at.SetBounds(n)
+	c.trapIf(err, at)
+	if rec := c.k.rec; rec.Enabled() {
+		if c.t.stackNode == 0 {
+			c.t.stackNode = rec.Root(c.comp.Name(),
+				c.t.stack.Base, c.t.stack.Top(), "stack "+c.t.Name)
+		}
+		rec.Derive(c.t.stackNode, c.comp.Name(), buf, "stack_alloc")
+	}
 	return buf
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
@@ -86,6 +87,12 @@ type Kernel struct {
 	ctrTraps    *telemetry.Counter
 	ctrUnwinds  *telemetry.Counter
 	ctrPreempts *telemetry.Counter
+
+	// rec, when non-nil, is the flight recorder: the always-on black box
+	// capturing calls, traps, allocations, and provenance for post-mortem
+	// forensics. All flightrec methods are nil-safe, so instrumented
+	// paths pay only the nil check when recording is disabled.
+	rec *flightrec.Recorder
 
 	// Accounting for the evaluation harness.
 	idleCycles    uint64
@@ -259,6 +266,16 @@ func (k *Kernel) EnableTelemetry(r *telemetry.Registry) {
 
 // Telemetry returns the attached registry, or nil when disabled.
 func (k *Kernel) Telemetry() *telemetry.Registry { return k.tel }
+
+// EnableFlightRecorder attaches a flight recorder; the kernel stamps its
+// events from the cycle clock. Pass nil to detach.
+func (k *Kernel) EnableFlightRecorder(r *flightrec.Recorder) {
+	k.rec = r
+	r.SetNow(k.Core.Clock.Cycles)
+}
+
+// FlightRecorder returns the attached recorder, or nil when disabled.
+func (k *Kernel) FlightRecorder() *flightrec.Recorder { return k.rec }
 
 // tickAs charges n cycles to the given pseudo-domain account instead of
 // whatever compartment account is installed; with telemetry disabled it is

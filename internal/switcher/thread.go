@@ -105,6 +105,9 @@ type Thread struct {
 	// scrubbed; everything below it is known-zero. Only consulted in the
 	// lazy-zeroing mode.
 	dirtyFloor uint32
+	// stackNode is the flight recorder's provenance root for this stack,
+	// created lazily on the first recorded StackAlloc.
+	stackNode uint32
 
 	trustedStack firmware.Region
 	frames       []frame

@@ -33,6 +33,45 @@ type HistogramSnapshot struct {
 	Counts      []uint64 `json:"counts"`
 }
 
+// Percentile returns the q-th percentile (0 < q <= 100) of the recorded
+// distribution, resolved to a bucket upper bound (nearest-rank over the
+// bucket counts; no interpolation, so a sparse histogram never reports a
+// value between buckets that was never observed). Edge cases are exact:
+// an empty histogram returns 0, q <= 0 returns Min, samples landing in
+// the overflow bucket (or a bound above the true maximum) clamp to Max.
+func (h HistogramSnapshot) Percentile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q > 100 {
+		q = 100
+	}
+	rank := uint64(q/100*float64(h.Count) + 0.5)
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.Bounds) && h.Bounds[i] < h.Max {
+				return h.Bounds[i]
+			}
+			// Overflow bucket, or a bound past the recorded maximum:
+			// report the true observed Max instead of a bucket edge that
+			// no sample reached.
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
 // Snapshot is the full JSON-exportable state of a registry.
 type Snapshot struct {
 	Hz               uint64              `json:"hz"`

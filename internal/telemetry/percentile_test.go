@@ -1,0 +1,96 @@
+package telemetry
+
+import "testing"
+
+// TestHistogramPercentile exercises the documented edge cases: empty
+// snapshots, single-bucket distributions, overflow-bucket samples, and
+// the no-interpolation rule.
+func TestHistogramPercentile(t *testing.T) {
+	cases := []struct {
+		name string
+		h    HistogramSnapshot
+		q    float64
+		want uint64
+	}{
+		{name: "empty", h: HistogramSnapshot{}, q: 50, want: 0},
+		{name: "empty p99", h: HistogramSnapshot{Bounds: []uint64{10, 100}, Counts: []uint64{0, 0, 0}}, q: 99, want: 0},
+		{
+			name: "single bucket returns bound",
+			h: HistogramSnapshot{Count: 7, Min: 3, Max: 9,
+				Bounds: []uint64{10, 100}, Counts: []uint64{7, 0, 0}},
+			q: 50, want: 9, // bound 10 exceeds observed Max 9 -> clamp
+		},
+		{
+			name: "single bucket under max",
+			h: HistogramSnapshot{Count: 4, Min: 5, Max: 80,
+				Bounds: []uint64{10, 100}, Counts: []uint64{0, 4, 0}},
+			q: 50, want: 80, // bound 100 exceeds Max 80 -> clamp
+		},
+		{
+			name: "two buckets p50",
+			h: HistogramSnapshot{Count: 10, Min: 1, Max: 200,
+				Bounds: []uint64{10, 100}, Counts: []uint64{5, 4, 1}},
+			q: 50, want: 10,
+		},
+		{
+			name: "two buckets p90",
+			h: HistogramSnapshot{Count: 10, Min: 1, Max: 200,
+				Bounds: []uint64{10, 100}, Counts: []uint64{5, 4, 1}},
+			q: 90, want: 100,
+		},
+		{
+			name: "overflow bucket returns max",
+			h: HistogramSnapshot{Count: 10, Min: 1, Max: 5000,
+				Bounds: []uint64{10, 100}, Counts: []uint64{1, 1, 8}},
+			q: 99, want: 5000,
+		},
+		{
+			name: "q zero returns min",
+			h: HistogramSnapshot{Count: 3, Min: 2, Max: 50,
+				Bounds: []uint64{10, 100}, Counts: []uint64{1, 2, 0}},
+			q: 0, want: 2,
+		},
+		{
+			name: "q above 100 clamps",
+			h: HistogramSnapshot{Count: 3, Min: 2, Max: 50,
+				Bounds: []uint64{10, 100}, Counts: []uint64{1, 2, 0}},
+			q: 150, want: 50,
+		},
+		{
+			name: "no bounds at all",
+			h:    HistogramSnapshot{Count: 5, Min: 7, Max: 70, Counts: []uint64{5}},
+			q:    50, want: 70,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.h.Percentile(tc.q); got != tc.want {
+				t.Fatalf("Percentile(%v) = %d, want %d", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestHistogramPercentileLive drives a real histogram through the
+// registry and checks the snapshot's percentiles are bucket-consistent.
+func TestHistogramPercentileLive(t *testing.T) {
+	r := NewRegistry(1_000_000)
+	h := r.Histogram("app", "lat", []uint64{10, 100, 1000})
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i) // 10 samples <=10, 90 in (10,100]
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("want 1 histogram, got %d", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	if p := hs.Percentile(5); p != 10 {
+		t.Errorf("p5 = %d, want 10", p)
+	}
+	if p := hs.Percentile(50); p != 100 {
+		t.Errorf("p50 = %d, want 100", p)
+	}
+	if p := hs.Percentile(100); p != 100 {
+		t.Errorf("p100 = %d, want 100 (Max)", p)
+	}
+}

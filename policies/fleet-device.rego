@@ -1,0 +1,43 @@
+# Integrator policy for the fleet device firmware.
+#
+# Check with:
+#   go run ./cmd/cheriot-audit -fleet > /tmp/fleet.json
+#   go run ./cmd/cheriot-audit -report /tmp/fleet.json -policy policies/fleet-device.rego
+
+# Exactly one compartment may reconfigure the firewall: the network API.
+rule single_firewall_configurer {
+	count(compartments_calling_entry("firewall", "fw_allow")) == 1
+}
+rule netapi_is_the_configurer {
+	contains(compartments_calling_entry("firewall", "fw_allow"), "netapi")
+}
+
+# Only the firewall compartment touches the NIC registers.
+rule nic_exclusive {
+	count(compartments_with_mmio("net")) == 1 &&
+	contains(compartments_with_mmio("net"), "firewall")
+}
+
+# The fleet application must not bypass the stack: DNS, SNTP, MQTT, and
+# the scheduler only — never the firewall or TCP/IP directly.
+rule fleetapp_cannot_touch_firewall {
+	!contains(compartments_calling("firewall"), "fleetapp")
+}
+rule fleetapp_cannot_touch_tcpip {
+	!contains(compartments_calling("tcpip"), "fleetapp")
+}
+
+# Availability: quotas must fit the heap, and the fault-prone TCP/IP
+# compartment must be micro-rebootable (it has an error handler).
+rule quotas_fit_heap {
+	sum_quotas() <= heap_size()
+}
+rule tcpip_is_fault_tolerant {
+	has_error_handler("tcpip")
+}
+
+# Interrupt posture stays auditable: a bounded set of IRQ-disabling
+# entry points.
+rule bounded_irq_disable {
+	count(exports_with_posture("disabled")) <= 16
+}

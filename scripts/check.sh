@@ -25,4 +25,18 @@ echo "== fleet smoke run =="
 go run ./cmd/cheriot-fleet -devices 16 -duration 200ms -seed 1 >/dev/null
 echo "ok"
 
+echo "== flight-recorder forensics (race) =="
+go test -race -count=1 ./internal/flightrec/
+go test -race -count=1 -run 'FlightRecorder|Forensics|Audit' \
+	./internal/core/ ./internal/fleet/
+echo "ok"
+
+echo "== forensics smoke run =="
+dumpdir=$(mktemp -d)
+go run ./cmd/cheriot-fleet -devices 4 -duration 16s -lockstep \
+	-flightrec 512 -pod 13s -dump-dir "$dumpdir" >/dev/null 2>&1
+go run ./cmd/cheriot-inspect "$dumpdir"/device-*.json >/dev/null
+rm -rf "$dumpdir"
+echo "ok"
+
 echo "all checks passed"
