@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check trace fleet inspect
+.PHONY: build test bench check trace fleet fleet-shard inspect
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ trace:
 # 1000-device fleet against the shared simulated cloud.
 fleet:
 	$(GO) run ./cmd/cheriot-fleet -devices 1000 -duration 15s
+
+# 1024-device fleet against the sharded cloud control plane, with
+# cloud-initiated fan-out and per-device commands.
+fleet-shard:
+	$(GO) run ./cmd/cheriot-fleet -devices 1024 -shards 8 -duration 15s \
+		-fanout 2s -fanout-cmds
 
 # Flight-recorder demo: a use-after-free caught by the black box, with
 # its capability-provenance chain.

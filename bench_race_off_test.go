@@ -1,0 +1,8 @@
+//go:build !race
+
+package cheriot_test
+
+// raceEnabled mirrors the -race flag so heavyweight benchmark grids can
+// skip themselves under the race detector (where wall-clock numbers are
+// meaningless and large fleets take minutes).
+const raceEnabled = false

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	cheriot-fleet -devices 1000 -shards 8 -duration 20s
+//	cheriot-fleet -devices 1000 -workers 8 -duration 20s
 //	cheriot-fleet -devices 16 -lockstep -seed 42 -json   # deterministic JSON
 //	cheriot-fleet -devices 64 -drop 0.01 -churn 16       # fault injection
+//	cheriot-fleet -devices 256 -shards 4 -fanout 2s      # sharded cloud + broadcast
+//	cheriot-fleet -devices 32 -profiles 'sensor:3:rate=2,bytes=24;jsdev:1:fw=jsvm'
 //
 // Durations are simulated time (33 MHz device clocks). The JSON summary on
 // stdout is deterministic for a given config+seed; wall-clock timings go
@@ -19,14 +21,79 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/cheriot-go/cheriot/internal/fleet"
 )
 
+// parseProfiles parses the -profiles spec: semicolon-separated entries of
+// the form name[:weight[:key=value,...]] with keys rate (publishes per
+// simulated second), bytes (payload size), churn (reconnect every N
+// publishes), and fw (firmware shape: fleetapp or jsvm). Zero-valued
+// fields inherit the top-level flags.
+func parseProfiles(spec string) ([]fleet.Profile, error) {
+	var out []fleet.Profile
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.SplitN(entry, ":", 3)
+		p := fleet.Profile{Name: parts[0]}
+		if len(parts) > 1 && parts[1] != "" {
+			w, err := strconv.Atoi(parts[1])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("profile %q: bad weight %q", p.Name, parts[1])
+			}
+			p.Weight = w
+		}
+		if len(parts) > 2 {
+			for _, kv := range strings.Split(parts[2], ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("profile %q: bad option %q (want key=value)", p.Name, kv)
+				}
+				switch k {
+				case "rate":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return nil, fmt.Errorf("profile %q: bad rate %q", p.Name, v)
+					}
+					p.PublishRate = f
+				case "bytes":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("profile %q: bad bytes %q", p.Name, v)
+					}
+					p.PublishBytes = n
+				case "churn":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("profile %q: bad churn %q", p.Name, v)
+					}
+					p.ReconnectEvery = n
+				case "fw":
+					if v != fleet.FirmwareGo && v != fleet.FirmwareJS {
+						return nil, fmt.Errorf("profile %q: unknown firmware %q (want %s or %s)",
+							p.Name, v, fleet.FirmwareGo, fleet.FirmwareJS)
+					}
+					p.Firmware = v
+				default:
+					return nil, fmt.Errorf("profile %q: unknown option %q", p.Name, k)
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
 func main() {
 	devices := flag.Int("devices", 16, "fleet size")
-	shards := flag.Int("shards", 0, "worker-pool width (0: number of CPUs)")
+	workers := flag.Int("workers", 0, "worker-pool width (0: number of CPUs)")
+	shards := flag.Int("shards", 1, "cloud broker shard count")
 	lockstep := flag.Bool("lockstep", false, "deterministic single-goroutine round-robin mode")
 	duration := flag.Duration("duration", 20*time.Second, "simulated horizon per device (TLS connect alone takes ~10s)")
 	publishRate := flag.Float64("publish-rate", 1, "publishes per simulated second per device")
@@ -36,6 +103,12 @@ func main() {
 	jitter := flag.Uint64("jitter", 0, "inbound delivery jitter in cycles")
 	spread := flag.Duration("spread", 2*time.Second, "arrival window for staggered device start")
 	seed := flag.Uint64("seed", 1, "seed for arrival, jitter, and fault schedules")
+	fanout := flag.Duration("fanout", 0, "cloud broadcast fan-out period in simulated time (0: off)")
+	fanoutBytes := flag.Int("fanout-bytes", 32, "fan-out payload size")
+	fanoutCmds := flag.Bool("fanout-cmds", false, "add a per-device command publish alongside each fan-out")
+	failover := flag.Duration("failover", 0, "fail one seeded-random broker shard at this simulated time (0: off)")
+	sessionTTL := flag.Duration("session-ttl", 0, "broker idle-session reaping TTL in simulated time (0: off)")
+	profilesSpec := flag.String("profiles", "", "heterogeneous device profiles: 'name[:weight[:rate=N,bytes=N,churn=N,fw=jsvm]];...'")
 	metrics := flag.Bool("metrics", false, "print the fleet-merged cycle-attribution table")
 	jsonOut := flag.Bool("json", false, "print the deterministic summary as JSON on stdout")
 	noAudit := flag.Bool("no-audit", false, "skip the pre-launch policy audit of the representative image")
@@ -44,9 +117,14 @@ func main() {
 	dumpDir := flag.String("dump-dir", "", "write each crashed device's flight-recorder dump to this directory")
 	flag.Parse()
 
+	profiles, err := parseProfiles(*profilesSpec)
+	if err != nil {
+		log.Fatalf("fleet: -profiles: %v", err)
+	}
+
 	cfg := fleet.Config{
 		Devices:        *devices,
-		Shards:         *shards,
+		Shards:         *workers,
 		Lockstep:       *lockstep,
 		Duration:       *duration,
 		PublishRate:    *publishRate,
@@ -59,6 +137,13 @@ func main() {
 		FlightRecorder: *flightrec,
 		PingOfDeathAt:  *pod,
 		SkipAudit:      *noAudit,
+		CloudShards:    *shards,
+		FanoutEvery:    *fanout,
+		FanoutBytes:    *fanoutBytes,
+		FanoutCommands: *fanoutCmds,
+		FailoverAt:     *failover,
+		SessionTTL:     *sessionTTL,
+		Profiles:       profiles,
 	}
 	if *dumpDir != "" && *flightrec == 0 {
 		log.Fatal("fleet: -dump-dir needs -flightrec to enable the recorders")
@@ -69,8 +154,8 @@ func main() {
 	}
 	s := res.Summary
 
-	fmt.Fprintf(os.Stderr, "wall clock: boot %.2fs, run %.2fs (%d devices / %d shards, %.0fx real time)\n",
-		res.BootWall.Seconds(), res.RunWall.Seconds(), s.Devices, s.Shards,
+	fmt.Fprintf(os.Stderr, "wall clock: boot %.2fs, run %.2fs (%d devices / %d workers / %d cloud shards, %.0fx real time)\n",
+		res.BootWall.Seconds(), res.RunWall.Seconds(), s.Devices, s.Shards, s.CloudShards,
 		s.SimSeconds*float64(s.Devices)/res.RunWall.Seconds())
 
 	if *dumpDir != "" {
@@ -106,8 +191,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("fleet: %d devices, %d shards, %.1fs simulated, seed %d\n",
-		s.Devices, s.Shards, s.SimSeconds, s.Seed)
+	fmt.Printf("fleet: %d devices, %d workers, %d cloud shards, %.1fs simulated, seed %d\n",
+		s.Devices, s.Shards, s.CloudShards, s.SimSeconds, s.Seed)
 	fmt.Printf("devices ok: %d (%d errors, %d setup failures)\n",
 		s.DevicesOK, s.DeviceErrors, s.SetupFailures)
 	fmt.Printf("connects: %d (%d failures, %d reconnects)\n",
@@ -118,13 +203,36 @@ func main() {
 	fmt.Printf("publish latency: p50 %.2f ms, p99 %.2f ms\n", s.PublishP50Ms, s.PublishP99Ms)
 	fmt.Printf("link: %d frames up, %d down, %d dropped\n",
 		s.FramesFromDevices, s.FramesToDevices, s.FramesDropped)
-	fmt.Printf("broker: %d connects, %d subscribes, %d publishes, %d live sessions\n",
-		s.BrokerConnects, s.BrokerSubscribes, s.BrokerPublishes, s.BrokerLiveSessions)
+	fmt.Printf("broker: %d connects, %d subscribes, %d publishes, %d live sessions, %d superseded, %d reaped\n",
+		s.BrokerConnects, s.BrokerSubscribes, s.BrokerPublishes, s.BrokerLiveSessions,
+		s.BrokerSuperseded, s.BrokerReaped)
+	if len(s.BrokerShards) > 1 {
+		for _, sh := range s.BrokerShards {
+			fmt.Printf("  shard %d: %d connects, %d publishes, %d live, %d forwarded\n",
+				sh.Shard, sh.Connects, sh.Publishes, sh.LiveSessions, sh.Forwarded)
+		}
+	}
+	if s.FanoutDelivered+s.FanoutMissed+s.CommandsDelivered+s.FailoverKicks > 0 {
+		fmt.Printf("cloud events: %d fan-outs delivered (%d missed), %d commands, %d failover kicks, %d notifications drained\n",
+			s.FanoutDelivered, s.FanoutMissed, s.CommandsDelivered, s.FailoverKicks,
+			s.NotificationsReceived)
+	}
+	for _, ps := range s.ProfileStats {
+		fmt.Printf("profile %s (%s): %d devices, %d connects, %d publishes\n",
+			ps.Name, ps.Firmware, ps.Devices, ps.Connects, ps.Publishes)
+	}
 	fmt.Printf("capability faults: %d   cycle attribution exact: %v\n",
 		s.CapabilityFaults, s.CycleSumExact)
 	if s.CrashReports > 0 || cfg.FlightRecorder > 0 {
 		fmt.Printf("crash reports: %d on %d devices, %d micro-reboots\n",
 			s.CrashReports, s.CrashDevices, s.Reboots)
+	}
+	if *pod > 0 && len(s.AvailabilityPerSecond) > 0 {
+		fmt.Printf("availability (devices publishing per simulated second):\n")
+		for sec, n := range s.AvailabilityPerSecond {
+			bar := strings.Repeat("#", n*40/(s.Devices+1))
+			fmt.Printf("  %3ds %4d %s\n", sec, n, bar)
+		}
 	}
 	if *metrics {
 		fmt.Println()

@@ -1,0 +1,103 @@
+package cloud
+
+import (
+	"github.com/cheriot-go/cheriot/internal/netproto"
+	"github.com/cheriot-go/cheriot/internal/netsim"
+)
+
+// homeShard range-partitions devices over shards: device i of n goes to
+// shard i*shards/n. Contiguous ranges (rather than i%shards) keep a
+// device and its per-device topics on the same shard under any fleet
+// size, and give each shard an equal slice within one device.
+func homeShard(deviceIndex, devices, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	if deviceIndex < 0 {
+		return 0
+	}
+	if deviceIndex >= devices {
+		deviceIndex = devices - 1
+	}
+	return deviceIndex * shards / devices
+}
+
+// shardForTopic routes a topic to exactly one shard. Per-device topics —
+// "fleet/<n>" and anything nested under it like "fleet/<n>/cmd" — follow
+// the owning device's range partition, so a device's own topics live on
+// its home shard and publishing to them never crosses shards. All other
+// topics (shared/broadcast) hash with FNV-1a.
+func shardForTopic(topic string, devices, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	if n, ok := deviceTopicIndex(topic); ok && n < devices {
+		return homeShard(n, devices, shards)
+	}
+	return int(fnv1a(topic) % uint64(shards))
+}
+
+// deviceTopicIndex parses "fleet/<digits>" or "fleet/<digits>/...",
+// returning the device index.
+func deviceTopicIndex(topic string) (int, bool) {
+	const prefix = "fleet/"
+	if len(topic) <= len(prefix) || topic[:len(prefix)] != prefix {
+		return 0, false
+	}
+	n, i := 0, len(prefix)
+	for ; i < len(topic); i++ {
+		c := topic[i]
+		if c == '/' {
+			break
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, false
+		}
+	}
+	if i == len(prefix) {
+		return 0, false
+	}
+	return n, true
+}
+
+// fnv1a is the 64-bit FNV-1a hash.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// newLBDNS builds the load balancer's front door: a DNS host that
+// answers the broker name with the *requesting* device's home shard, so
+// each device transparently connects to the shard owning its topics.
+// Other names are NXDOMAIN. Answering per requester is deterministic:
+// the reply depends only on which device asked, never on plane state.
+func (p *Plane) newLBDNS() *netsim.ServerHost {
+	s := netsim.NewServerHost(p.cfg.DNSIP)
+	s.HandleUDP(netproto.PortDNS, func(w *netsim.World, from netproto.Header, seg netproto.UDP) []byte {
+		id, name, err := netproto.DecodeDNSQuery(seg.Data)
+		if err != nil {
+			return nil
+		}
+		var ip uint32
+		if name == p.cfg.DNSName {
+			idx := -1
+			if p.cfg.DeviceIndexOf != nil {
+				idx = p.cfg.DeviceIndexOf(w.DeviceIP)
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			ip = p.HomeIP(idx)
+		}
+		return netproto.EncodeDNSReply(id, ip)
+	})
+	return s
+}

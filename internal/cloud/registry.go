@@ -1,0 +1,149 @@
+package cloud
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/cheriot-go/cheriot/internal/netproto"
+	"github.com/cheriot-go/cheriot/internal/netsim"
+)
+
+// registry is one shard's subscription table: every subscription whose
+// topic this shard *owns*, wherever the subscriber's session is homed.
+// The home shard of each subscriber is recorded so routing can split
+// deliveries between the publisher shard's legacy local fan-out and
+// cross-shard forwarding without ever delivering twice.
+//
+// Locking: reg.mu is independent of broker/session locks. Routing
+// snapshots the subscriber list under reg.mu, releases it, then delivers
+// through per-session leaf locks — reg.mu never nests with a session
+// lock in either order.
+type registry struct {
+	mu     sync.Mutex
+	topics map[string]map[*netsim.BrokerSession]int
+	// forwarded counts cross-shard deliveries made through this registry.
+	forwarded int
+}
+
+type subscriber struct {
+	sess *netsim.BrokerSession
+	home int
+}
+
+func newRegistry() *registry {
+	return &registry{topics: make(map[string]map[*netsim.BrokerSession]int)}
+}
+
+func (r *registry) add(topic string, s *netsim.BrokerSession, home int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.topics[topic]
+	if set == nil {
+		set = make(map[*netsim.BrokerSession]int)
+		r.topics[topic] = set
+	}
+	set[s] = home
+}
+
+func (r *registry) remove(topic string, s *netsim.BrokerSession) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if set := r.topics[topic]; set != nil {
+		delete(set, s)
+		if len(set) == 0 {
+			delete(r.topics, topic)
+		}
+	}
+}
+
+// snapshot copies the topic's subscriber list. Order is made
+// deterministic (by home shard, then device address) purely for the
+// benefit of tests; devices cannot observe it.
+func (r *registry) snapshot(topic string) []subscriber {
+	r.mu.Lock()
+	set := r.topics[topic]
+	out := make([]subscriber, 0, len(set))
+	for s, home := range set {
+		out = append(out, subscriber{sess: s, home: home})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].home != out[j].home {
+			return out[i].home < out[j].home
+		}
+		return out[i].sess.RemoteIP() < out[j].sess.RemoteIP()
+	})
+	return out
+}
+
+func (r *registry) countForwarded(n int) {
+	r.mu.Lock()
+	r.forwarded += n
+	r.mu.Unlock()
+}
+
+func (r *registry) forwardedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.forwarded
+}
+
+// shardRouter adapts one shard's broker to the plane: subscriptions are
+// registered with the shard owning the topic; publishes either stay on
+// the legacy local fan-out path (topic owned here) or are forwarded
+// through the owner's registry.
+type shardRouter struct {
+	plane *Plane
+	home  int
+}
+
+// Subscribed registers the subscription with the topic's owning shard.
+// Runs under the home broker's dispatch lock; reg.mu of any shard is
+// safely below it.
+func (rt *shardRouter) Subscribed(s *netsim.BrokerSession, topic string) {
+	owner := rt.plane.ShardForTopic(topic)
+	rt.plane.Shards[owner].reg.add(topic, s, rt.home)
+}
+
+// RoutePublish routes a device-originated publish.
+//
+//   - Topic owned by this shard: return false so the broker runs its
+//     byte-identical legacy fan-out over local sessions, and additionally
+//     forward to registry subscribers homed on *other* shards (a local
+//     subscriber appears both in the session table and in this registry,
+//     so the home filter is what makes delivery exactly-once).
+//   - Topic owned elsewhere: deliver through the owner's registry to
+//     every subscriber except the publisher, and return true to suppress
+//     the local scan (local subscribers of a foreign topic are in the
+//     owner's registry too).
+func (rt *shardRouter) RoutePublish(from *netsim.BrokerSession, pkt netproto.MQTTPacket) bool {
+	owner := rt.plane.ShardForTopic(pkt.Topic)
+	reg := rt.plane.Shards[owner].reg
+	local := owner == rt.home
+	n := 0
+	for _, sub := range reg.snapshot(pkt.Topic) {
+		if sub.sess == from {
+			continue
+		}
+		if local && sub.home == rt.home {
+			continue // the legacy fan-out below us delivers these
+		}
+		if sub.sess.Deliver(pkt.Topic, pkt.Payload) && sub.home != rt.home {
+			n++
+		}
+	}
+	if n > 0 {
+		reg.countForwarded(n)
+	}
+	return !local
+}
+
+// SessionClosed drops the session's registrations from every owning
+// shard. The topic snapshot is taken (and the session lock released)
+// before any registry lock is touched.
+func (rt *shardRouter) SessionClosed(s *netsim.BrokerSession) {
+	for _, topic := range s.TopicsSnapshot() {
+		owner := rt.plane.ShardForTopic(topic)
+		rt.plane.Shards[owner].reg.remove(topic, s)
+	}
+}

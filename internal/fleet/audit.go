@@ -58,14 +58,21 @@ rule bounded_irq_disable {
 }
 `
 
-// RepresentativeImage builds the firmware image every fleet device
-// shares, without booting it — the subject of the pre-launch audit.
-// All devices are stamped from this one shape (only the IP and topic
-// differ), so auditing one image covers the whole fleet.
+// RepresentativeImage builds the firmware image of the fleet's default
+// (Go fleetapp) shape, without booting it — the subject of the
+// pre-launch audit. Devices of one shape are stamped from one image
+// (only the IP and topic differ), so auditing one image per shape
+// covers the whole fleet.
 func RepresentativeImage(cfg Config) *firmware.Image {
+	return representativeImage(cfg, FirmwareGo)
+}
+
+func representativeImage(cfg Config, fw string) *firmware.Image {
 	cfg = cfg.withDefaults()
-	d := &Device{Index: 0, IP: deviceIP(0), Topic: "fleet/0", cfg: &cfg}
-	img := core.NewImage("fleet-representative")
+	d := &Device{Index: 0, IP: deviceIP(0), Topic: "fleet/0", cfg: &cfg,
+		Profile: Profile{Name: "representative", Firmware: fw,
+			PublishRate: cfg.PublishRate, PublishBytes: cfg.PublishBytes}}
+	img := core.NewImage("fleet-representative-" + fw)
 	netstack.AddTo(img, netstack.Config{
 		DeviceIP:   d.IP,
 		UseDHCP:    true,
@@ -74,33 +81,73 @@ func RepresentativeImage(cfg Config) *firmware.Image {
 		NTPServer:  NTPIP,
 		RootSecret: RootSecret,
 	})
-	d.addApp(img)
+	if fw == FirmwareJS {
+		d.addJSApp(img)
+	} else {
+		d.addApp(img)
+	}
 	return img
 }
 
-// Report boots the representative image once (the loader adds the TCB
-// compartments the raw image lacks) and returns its linker audit report.
+// firmwareShapes lists the distinct firmware shapes the config deploys,
+// in deterministic order (Go first).
+func firmwareShapes(cfg Config) []string {
+	cfg = cfg.withDefaults()
+	hasGo, hasJS := len(cfg.Profiles) == 0, false
+	for _, p := range cfg.Profiles {
+		if p.Firmware == FirmwareJS {
+			hasJS = true
+		} else {
+			hasGo = true
+		}
+	}
+	var out []string
+	if hasGo {
+		out = append(out, FirmwareGo)
+	}
+	if hasJS {
+		out = append(out, FirmwareJS)
+	}
+	return out
+}
+
+// Report boots the default shape's representative image once (the loader
+// adds the TCB compartments the raw image lacks) and returns its linker
+// audit report.
 func Report(cfg Config) (*firmware.Report, error) {
-	sys, err := core.Boot(RepresentativeImage(cfg))
+	return report(cfg, FirmwareGo)
+}
+
+func report(cfg Config, fw string) (*firmware.Report, error) {
+	sys, err := core.Boot(representativeImage(cfg, fw))
 	if err != nil {
-		return nil, fmt.Errorf("fleet audit: boot representative image: %w", err)
+		return nil, fmt.Errorf("fleet audit: boot representative %s image: %w", fw, err)
 	}
 	defer sys.Shutdown()
 	return sys.Report, nil
 }
 
-// Audit checks the representative image against FleetPolicy and returns
-// the result (audit errors wrapped).
+// Audit checks every deployed firmware shape's representative image
+// against FleetPolicy, returning the first failing result (or the last
+// passing one). Both shapes name the application compartment "fleetapp",
+// so one policy pins down both.
 func Audit(cfg Config) (*audit.Result, error) {
-	report, err := Report(cfg)
-	if err != nil {
-		return nil, err
+	var last *audit.Result
+	for _, fw := range firmwareShapes(cfg) {
+		rep, err := report(cfg, fw)
+		if err != nil {
+			return nil, err
+		}
+		res, err := audit.CheckSource(FleetPolicy, rep)
+		if err != nil {
+			return nil, fmt.Errorf("fleet audit (%s): %w", fw, err)
+		}
+		if !res.Passed() {
+			return res, nil
+		}
+		last = res
 	}
-	res, err := audit.CheckSource(FleetPolicy, report)
-	if err != nil {
-		return nil, fmt.Errorf("fleet audit: %w", err)
-	}
-	return res, nil
+	return last, nil
 }
 
 // auditGate is the pre-launch check Run performs unless Config.SkipAudit

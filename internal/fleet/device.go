@@ -5,6 +5,7 @@ import (
 
 	"github.com/cheriot-go/cheriot/internal/api"
 	"github.com/cheriot-go/cheriot/internal/cap"
+	"github.com/cheriot-go/cheriot/internal/cloud"
 	"github.com/cheriot-go/cheriot/internal/core"
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/flightrec"
@@ -34,8 +35,9 @@ var (
 )
 
 // DeviceStats is what one device's application records. Written only by
-// the device's app thread (which runs strictly interleaved with its
-// kernel on the owning shard goroutine); read after the shards join.
+// the device's app thread and event hooks (which run strictly interleaved
+// with its kernel on the owning shard goroutine); read after the shards
+// join.
 type DeviceStats struct {
 	SetupFailures   uint64
 	Connects        uint64
@@ -43,6 +45,18 @@ type DeviceStats struct {
 	Reconnects      uint64
 	Publishes       uint64
 	PublishErrors   uint64
+
+	// Cloud-initiated event accounting (see cloud.Schedule).
+	FanoutDelivered   uint64
+	FanoutMissed      uint64
+	CommandsDelivered uint64
+	FailoverKicks     uint64
+	// Notifications counts cloud publishes the app drained end-to-end.
+	Notifications uint64
+
+	// PublishSeconds[t] counts successful publishes during simulated
+	// second t — the raw material of the fleet availability curve.
+	PublishSeconds []uint32
 
 	// Latency samples in cycles; kept exact (not just histogrammed) so
 	// the fleet can report true percentiles.
@@ -57,6 +71,9 @@ type Device struct {
 	Index int
 	IP    uint32
 	Topic string
+	// Profile is the device's resolved load profile (rate, payload,
+	// churn, firmware shape).
+	Profile Profile
 
 	Sys   *core.System
 	World *netsim.World
@@ -83,13 +100,14 @@ func deviceIP(i int) uint32 {
 }
 
 // buildDevice assembles and boots one device.
-func buildDevice(cfg *Config, cloud *Cloud, i int) (*Device, error) {
+func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device, error) {
 	d := &Device{
-		Index: i,
-		IP:    deviceIP(i),
-		Topic: fmt.Sprintf("fleet/%d", i),
-		cfg:   cfg,
-		rng:   newRNG(cfg.Seed, uint64(i)),
+		Index:   i,
+		IP:      deviceIP(i),
+		Topic:   fmt.Sprintf("fleet/%d", i),
+		Profile: cfg.profileFor(i),
+		cfg:     cfg,
+		rng:     newRNG(cfg.Seed, uint64(i)),
 	}
 	if spread := cfg.arrivalSpreadCycles(); spread > 0 {
 		d.arrival = d.rng.below(spread)
@@ -104,10 +122,14 @@ func buildDevice(cfg *Config, cloud *Cloud, i int) (*Device, error) {
 		NTPServer:  NTPIP,
 		RootSecret: RootSecret,
 	})
-	d.addApp(img)
+	if d.Profile.Firmware == FirmwareJS {
+		d.addJSApp(img)
+	} else {
+		d.addApp(img)
+	}
 
-	// Skip the per-device audit report: all devices share one firmware
-	// shape; audit a single representative image instead.
+	// Skip the per-device audit report: devices share a handful of
+	// firmware shapes; audit one representative per shape instead.
 	sys, err := core.BootWith(img, core.BootOptions{SkipReport: true})
 	if err != nil {
 		return nil, fmt.Errorf("device %d: %w", i, err)
@@ -121,7 +143,7 @@ func buildDevice(cfg *Config, cloud *Cloud, i int) (*Device, error) {
 	if cfg.DropRate > 0 || cfg.JitterCycles > 0 {
 		d.World.SetLinkFaults(cfg.DropRate, cfg.JitterCycles, newRNG(cfg.Seed, uint64(i)+1<<32).next())
 	}
-	cloud.attach(d.World, d.IP)
+	cl.attach(d.World, d.IP)
 
 	d.Tel = sys.EnableTelemetry(cfg.TraceCapacity)
 	if cfg.FlightRecorder > 0 {
@@ -130,10 +152,37 @@ func buildDevice(cfg *Config, cloud *Cloud, i int) (*Device, error) {
 	if at := cfg.pingOfDeathCycles(); at > 0 {
 		// The fault campaign: one malformed frame per device at a fixed
 		// simulated time, scheduled on the device's own clock so the
-		// injection is deterministic in every run mode.
+		// injection is deterministic in every run mode. The spoofed source
+		// must be the broker the device actually talks to (its home
+		// shard), or the ingress filter discards it.
+		spoof := cl.brokerIPFor(i)
 		sys.Board.Core.At(at, func() {
-			d.World.InjectRaw(d.World.PingOfDeath(BrokerIP))
+			d.World.InjectRaw(d.World.PingOfDeath(spoof))
 		})
+	}
+	if len(schedule) > 0 && cl.Plane != nil {
+		// Expand the cloud event schedule onto this device's own event
+		// queue; the hooks run on the device goroutine, so DeviceStats
+		// stays single-writer.
+		cloud.InstallOnDevice(sys.Board.Core, cl.Plane, i, d.IP, schedule,
+			func(ev cloud.Event, ok bool) {
+				switch ev.Kind {
+				case cloud.EventFanout:
+					if ok {
+						d.Stats.FanoutDelivered++
+					} else {
+						d.Stats.FanoutMissed++
+					}
+				case cloud.EventCommand:
+					if ok {
+						d.Stats.CommandsDelivered++
+					}
+				case cloud.EventFailover:
+					if ok {
+						d.Stats.FailoverKicks++
+					}
+				}
+			})
 	}
 	return d, nil
 }
@@ -156,59 +205,113 @@ func (d *Device) runSlice(toCycle uint64) error {
 // configured rate forever (the fleet horizon ends the run), reconnecting
 // on error and — with ReconnectEvery — churning deliberately.
 func (d *Device) addApp(img *firmware.Image) {
-	imports := append(netstack.DNSImports(), netstack.SNTPImports()...)
-	imports = append(imports, netstack.MQTTImports()...)
-	imports = append(imports, sched.Imports()...)
-	imports = append(imports, firmware.Import{
-		Kind: firmware.ImportCall, Target: netstack.NetAPI, Entry: netstack.FnNetworkUp})
 	img.AddCompartment(&firmware.Compartment{
 		Name: "fleetapp", CodeSize: 3000, DataSize: 256,
 		AllocCaps: []firmware.AllocCap{{Name: "default", Quota: 16384}},
-		Imports:   imports,
+		Imports:   fleetAppImports(),
 		Exports:   []*firmware.Export{{Name: "main", MinStack: 8192, Entry: d.appMain}},
 	})
 	img.AddThread(&firmware.Thread{Name: "app", Compartment: "fleetapp", Entry: "main",
 		Priority: 3, StackSize: 32 * 1024, TrustedStackFrames: 24})
 }
 
+// fleetAppImports is the app compartment's import set: DNS, SNTP, MQTT,
+// the scheduler, and network bring-up — and nothing else, which is what
+// the fleet audit policy pins down.
+func fleetAppImports() []firmware.Import {
+	imports := append(netstack.DNSImports(), netstack.SNTPImports()...)
+	imports = append(imports, netstack.MQTTImports()...)
+	imports = append(imports, sched.Imports()...)
+	return append(imports, firmware.Import{
+		Kind: firmware.ImportCall, Target: netstack.NetAPI, Entry: netstack.FnNetworkUp})
+}
+
 func (d *Device) appMain(ctx api.Context, args []api.Value) []api.Value {
-	st := &d.Stats
-	quota := func() cap.Capability { return ctx.SealedImport("default") }
-	sleep := func(cycles uint64) {
-		for cycles > 0 {
-			n := uint64(0xffff_ffff)
-			if n > cycles {
-				n = cycles
-			}
-			_, _ = ctx.Call(sched.Name, sched.EntrySleep, api.W(uint32(n)))
-			cycles -= n
-		}
+	a := newAppDriver(d, ctx)
+	if !a.setup() {
+		return a.park()
 	}
-	// park idles a failed device without exiting: the driver thread
-	// blocks on IRQs, and a returned app thread would leave the kernel
-	// with no pending events (a reported deadlock) instead of an idle
-	// machine.
-	park := func() []api.Value {
-		for {
-			sleep(10 * secondCycles)
-		}
+	if !a.connect() {
+		a.st.SetupFailures++
+		return a.park()
 	}
-	// stage copies b into a fresh stack buffer with exact bounds. Stack
-	// allocations within this frame are never reclaimed, so the steady
-	// loop below reuses buffers instead of staging per publish.
-	stage := func(b []byte) cap.Capability {
-		buf := ctx.StackAlloc(uint32(len(b)))
-		ctx.StoreBytes(buf, b)
-		view, _ := buf.SetBounds(uint32(len(b)))
-		return view
+	// Steady state: publish at the profile's rate with ±12.5% seeded
+	// jitter until the fleet horizon stops the kernel.
+	for a.tick() {
 	}
+	return a.park()
+}
 
+// appDriver is the device application's logic, shared between the Go
+// fleet app (appMain drives it directly) and the jsvm fleet app (a
+// JavaScript program drives it through host-function bindings).
+type appDriver struct {
+	d   *Device
+	ctx api.Context
+	st  *DeviceStats
+
+	brokerAddr uint32
+	handle     api.Value
+	interval   uint64
+	published  uint64
+
+	topicView   cap.Capability
+	payloadView cap.Capability
+	bcastView   cap.Capability
+	cmdView     cap.Capability
+	drainView   cap.Capability
+
+	connHist *telemetry.Histogram
+	pubHist  *telemetry.Histogram
+}
+
+func newAppDriver(d *Device, ctx api.Context) *appDriver {
+	return &appDriver{d: d, ctx: ctx, st: &d.Stats}
+}
+
+func (a *appDriver) quota() cap.Capability { return a.ctx.SealedImport("default") }
+
+func (a *appDriver) sleep(cycles uint64) {
+	for cycles > 0 {
+		n := uint64(0xffff_ffff)
+		if n > cycles {
+			n = cycles
+		}
+		_, _ = a.ctx.Call(sched.Name, sched.EntrySleep, api.W(uint32(n)))
+		cycles -= n
+	}
+}
+
+// park idles a failed device without exiting: the driver thread blocks on
+// IRQs, and a returned app thread would leave the kernel with no pending
+// events (a reported deadlock) instead of an idle machine.
+func (a *appDriver) park() []api.Value {
+	for {
+		a.sleep(10 * secondCycles)
+	}
+}
+
+// stage copies b into a fresh stack buffer with exact bounds. Stack
+// allocations within this frame are never reclaimed, so setup stages
+// every buffer the steady loop needs exactly once.
+func (a *appDriver) stage(b []byte) cap.Capability {
+	buf := a.ctx.StackAlloc(uint32(len(b)))
+	a.ctx.StoreBytes(buf, b)
+	view, _ := buf.SetBounds(uint32(len(b)))
+	return view
+}
+
+// setup runs the bring-up sequence: arrival delay, DHCP through the
+// firewall's bootstrap window, SNTP, broker resolution, and staging of
+// the steady-state buffers. Returns false (after counting a setup
+// failure) when the device cannot come up.
+func (a *appDriver) setup() bool {
+	ctx, d, st := a.ctx, a.d, a.st
 	if d.arrival > 0 {
-		sleep(d.arrival)
+		a.sleep(d.arrival)
 	}
 
-	// Network bring-up: the DHCP exchange through the firewall's
-	// bootstrap window. Retries cover frames lost to fault injection.
+	// Network bring-up: retries cover frames lost to fault injection.
 	up := false
 	for try := 0; try < 30; try++ {
 		rets, err := ctx.Call(netstack.NetAPI, netstack.FnNetworkUp, api.W(0))
@@ -216,11 +319,11 @@ func (d *Device) appMain(ctx api.Context, args []api.Value) []api.Value {
 			up = true
 			break
 		}
-		sleep(secondCycles / 5)
+		a.sleep(secondCycles / 5)
 	}
 	if !up {
 		st.SetupFailures++
-		return park()
+		return false
 	}
 
 	// Clock sync; tolerated to fail under heavy drop rates (the device
@@ -230,102 +333,147 @@ func (d *Device) appMain(ctx api.Context, args []api.Value) []api.Value {
 		if err == nil && api.ErrnoOf(rets) == api.OK {
 			break
 		}
-		sleep(secondCycles / 5)
+		a.sleep(secondCycles / 5)
 	}
 
-	// Resolve the broker.
-	brokerAddr := uint32(0)
-	for try := 0; try < 30 && brokerAddr == 0; try++ {
-		rets, err := ctx.Call(netstack.DNS, netstack.FnDNSResolve, api.C(stage([]byte(BrokerName))))
+	// Resolve the broker; the control plane's DNS answers with this
+	// device's home shard.
+	for try := 0; try < 30 && a.brokerAddr == 0; try++ {
+		rets, err := ctx.Call(netstack.DNS, netstack.FnDNSResolve, api.C(a.stage([]byte(BrokerName))))
 		if err == nil && api.ErrnoOf(rets) == api.OK {
-			brokerAddr = rets[1].AsWord()
+			a.brokerAddr = rets[1].AsWord()
 			break
 		}
-		sleep(secondCycles / 2)
+		a.sleep(secondCycles / 2)
 	}
-	if brokerAddr == 0 {
+	if a.brokerAddr == 0 {
 		st.SetupFailures++
-		return park()
-	}
-
-	connHist := d.Tel.Histogram("fleet", "connect_cycles", FleetConnectBuckets)
-	pubHist := d.Tel.Histogram("fleet", "publish_cycles", FleetPublishBuckets)
-
-	var handle api.Value
-	topicView := stage([]byte(d.Topic))
-	// connect establishes an MQTT/TLS session and subscribes to the
-	// device's topic, with bounded retries.
-	connect := func() bool {
-		for try := 0; try < 10; try++ {
-			t0 := ctx.Now()
-			rets, err := ctx.Call(netstack.MQTT, netstack.FnMQTTConnect,
-				api.C(quota()), api.W(brokerAddr), api.W(netproto.PortMQTT), api.W(20_000_000))
-			if err == nil && api.ErrnoOf(rets) == api.OK {
-				h := rets[1]
-				srets, serr := ctx.Call(netstack.MQTT, netstack.FnMQTTSubscribe,
-					h, api.C(topicView), api.W(20_000_000))
-				if serr == nil && api.ErrnoOf(srets) == api.OK {
-					handle = h
-					lat := ctx.Now() - t0
-					st.Connects++
-					st.ConnectLatency = append(st.ConnectLatency, lat)
-					connHist.Observe(lat)
-					return true
-				}
-				_, _ = ctx.Call(netstack.MQTT, netstack.FnMQTTClose, api.C(quota()), h)
-			}
-			st.ConnectFailures++
-			sleep(secondCycles / 2)
-		}
 		return false
 	}
-	disconnect := func() {
-		if handle.IsCap {
-			_, _ = ctx.Call(netstack.MQTT, netstack.FnMQTTClose, api.C(quota()), handle)
-			handle = api.Value{}
-		}
-	}
 
-	if !connect() {
-		st.SetupFailures++
-		return park()
-	}
+	a.connHist = d.Tel.Histogram("fleet", "connect_cycles", FleetConnectBuckets)
+	a.pubHist = d.Tel.Histogram("fleet", "publish_cycles", FleetPublishBuckets)
 
-	// Steady state: publish at the configured rate with ±12.5% seeded
-	// jitter until the fleet horizon stops the kernel.
-	payload := make([]byte, d.cfg.PublishBytes)
+	a.topicView = a.stage([]byte(d.Topic))
+	payload := make([]byte, d.Profile.PublishBytes)
 	for i := range payload {
 		payload[i] = byte(d.Index + i)
 	}
-	payloadView := stage(payload)
-	interval := uint64(float64(secondCycles) / d.cfg.PublishRate)
-	published := uint64(0)
-	for {
-		sleep(interval - interval/8 + d.rng.below(interval/4+1))
-		if d.cfg.ReconnectEvery > 0 && published > 0 && published%uint64(d.cfg.ReconnectEvery) == 0 {
-			published = 0 // avoid re-triggering before the next publish
-			disconnect()
-			st.Reconnects++
-			if !connect() {
-				return park()
-			}
-		}
+	a.payloadView = a.stage(payload)
+	a.interval = uint64(float64(secondCycles) / d.Profile.PublishRate)
+	if d.cfg.fanoutEnabled() {
+		a.bcastView = a.stage([]byte(cloud.BroadcastTopic))
+		a.cmdView = a.stage([]byte(cloud.CommandTopic(d.Index)))
+		a.drainView = a.stage(make([]byte, 128))
+	}
+	return true
+}
+
+// connect establishes an MQTT/TLS session and subscribes to the device's
+// topics (its own, plus the broadcast and command topics when cloud
+// fan-out is on), with bounded retries.
+func (a *appDriver) connect() bool {
+	ctx, st := a.ctx, a.st
+	for try := 0; try < 10; try++ {
 		t0 := ctx.Now()
-		rets, err := ctx.Call(netstack.MQTT, netstack.FnMQTTPublish,
-			handle, api.C(topicView), api.C(payloadView))
+		rets, err := ctx.Call(netstack.MQTT, netstack.FnMQTTConnect,
+			api.C(a.quota()), api.W(a.brokerAddr), api.W(netproto.PortMQTT), api.W(20_000_000))
 		if err == nil && api.ErrnoOf(rets) == api.OK {
-			lat := ctx.Now() - t0
-			st.Publishes++
-			published++
-			st.PublishLatency = append(st.PublishLatency, lat)
-			pubHist.Observe(lat)
-			continue
+			h := rets[1]
+			if a.subscribeAll(h) {
+				a.handle = h
+				lat := ctx.Now() - t0
+				st.Connects++
+				st.ConnectLatency = append(st.ConnectLatency, lat)
+				a.connHist.Observe(lat)
+				return true
+			}
+			_, _ = ctx.Call(netstack.MQTT, netstack.FnMQTTClose, api.C(a.quota()), h)
 		}
-		st.PublishErrors++
-		disconnect()
+		st.ConnectFailures++
+		a.sleep(secondCycles / 2)
+	}
+	return false
+}
+
+func (a *appDriver) subscribeAll(h api.Value) bool {
+	views := []cap.Capability{a.topicView}
+	if a.d.cfg.fanoutEnabled() {
+		views = append(views, a.bcastView, a.cmdView)
+	}
+	for _, v := range views {
+		rets, err := a.ctx.Call(netstack.MQTT, netstack.FnMQTTSubscribe,
+			h, api.C(v), api.W(20_000_000))
+		if err != nil || api.ErrnoOf(rets) != api.OK {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *appDriver) disconnect() {
+	if a.handle.IsCap {
+		_, _ = a.ctx.Call(netstack.MQTT, netstack.FnMQTTClose, api.C(a.quota()), a.handle)
+		a.handle = api.Value{}
+	}
+}
+
+// tick is one steady-state iteration: jittered sleep, deliberate churn,
+// one publish (with error-driven reconnect), and a notification drain.
+// Returns false when the device failed permanently and should park.
+func (a *appDriver) tick() bool {
+	ctx, d, st := a.ctx, a.d, a.st
+	a.sleep(a.interval - a.interval/8 + d.rng.below(a.interval/4+1))
+	if churn := d.Profile.ReconnectEvery; churn > 0 && a.published > 0 &&
+		a.published%uint64(churn) == 0 {
+		a.published = 0 // avoid re-triggering before the next publish
+		a.disconnect()
 		st.Reconnects++
-		if !connect() {
-			return park()
+		if !a.connect() {
+			return false
 		}
+	}
+	t0 := ctx.Now()
+	rets, err := ctx.Call(netstack.MQTT, netstack.FnMQTTPublish,
+		a.handle, api.C(a.topicView), api.C(a.payloadView))
+	if err == nil && api.ErrnoOf(rets) == api.OK {
+		lat := ctx.Now() - t0
+		st.Publishes++
+		a.published++
+		st.PublishLatency = append(st.PublishLatency, lat)
+		a.pubHist.Observe(lat)
+		a.markPublishSecond()
+		if d.cfg.fanoutEnabled() {
+			a.drain()
+		}
+		return true
+	}
+	st.PublishErrors++
+	a.disconnect()
+	st.Reconnects++
+	return a.connect()
+}
+
+// markPublishSecond records a successful publish in the availability
+// curve's per-second buckets.
+func (a *appDriver) markPublishSecond() {
+	sec := int(a.ctx.Now() / secondCycles)
+	for len(a.st.PublishSeconds) <= sec {
+		a.st.PublishSeconds = append(a.st.PublishSeconds, 0)
+	}
+	a.st.PublishSeconds[sec]++
+}
+
+// drain pulls queued cloud notifications (fan-outs, commands) with a
+// short timeout, counting end-to-end deliveries. Bounded so a burst
+// cannot starve the publish loop.
+func (a *appDriver) drain() {
+	for i := 0; i < 8; i++ {
+		rets, err := a.ctx.Call(netstack.MQTT, netstack.FnMQTTWait,
+			a.handle, api.C(a.drainView), api.W(50_000))
+		if err != nil || api.ErrnoOf(rets) != api.OK {
+			return
+		}
+		a.st.Notifications++
 	}
 }

@@ -14,9 +14,21 @@
 //
 // Because each device publishes to its own topic, devices never inject
 // events into each other's simulations, so per-device results (and the
-// aggregated Summary) are identical across modes and shard counts. The
-// Summary deliberately contains no wall-clock fields; wall-clock numbers
-// live in Result, outside the deterministic surface.
+// aggregated Summary) are identical across modes and shard counts.
+// Cloud-initiated traffic (broadcast fan-out, per-device commands, shard
+// failovers) preserves the same guarantee by a different route: a seeded
+// schedule is expanded per device onto each device's own cycle-accurate
+// event queue (internal/cloud), so nothing any device observes depends
+// on another device's progress. The Summary deliberately contains no
+// wall-clock fields; wall-clock numbers live in Result, outside the
+// deterministic surface.
+//
+// The shared side is the sharded cloud control plane of internal/cloud:
+// N broker shards partitioned by topic, a load-balancing DNS steering
+// each device to its home shard, and cross-shard subscription
+// forwarding. Config.CloudShards scales it; heterogeneous fleets mix
+// device profiles (publish rates, payload sizes, and firmware shapes —
+// including a jsvm/microvium JavaScript device) via Config.Profiles.
 package fleet
 
 import (
@@ -27,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/cheriot-go/cheriot/internal/cloud"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
@@ -78,7 +91,67 @@ type Config struct {
 	// SkipAudit skips the pre-launch policy audit of the representative
 	// firmware image (the -no-audit escape hatch).
 	SkipAudit bool
+
+	// CloudShards is the broker shard count of the sharded cloud control
+	// plane (0 and 1 both mean one shard). Distinct from Shards, the
+	// worker-pool width: CloudShards scales the shared side, Shards the
+	// simulation side.
+	CloudShards int
+	// FanoutEvery enables cloud-initiated fan-out: every period the cloud
+	// publishes to the shared broadcast topic, which all devices
+	// subscribe to. Delivery is expanded per device on each device's own
+	// clock (see internal/cloud.Schedule), preserving the lockstep ≡
+	// parallel equivalence.
+	FanoutEvery time.Duration
+	// FanoutBytes sizes fan-out payloads (default 32).
+	FanoutBytes int
+	// FanoutCommands adds a per-device command publish (to a seeded
+	// random device's command topic) alongside each fan-out.
+	FanoutCommands bool
+	// FailoverAt, when non-zero, fails one seeded-random broker shard at
+	// this simulated time: every device homed there is kicked and must
+	// reconnect.
+	FailoverAt time.Duration
+	// SessionTTL arms broker-side idle-session reaping (0 disables).
+	// Choose it comfortably above the fleet's longest legitimate idle
+	// gap (publish interval, reconnect backoff), or dead-session cleanup
+	// can reset live connections nondeterministically.
+	SessionTTL time.Duration
+	// Profiles makes the fleet heterogeneous: each device is assigned a
+	// profile by seeded weighted choice. Empty means one implicit profile
+	// from the top-level knobs.
+	Profiles []Profile
+
+	// legacyCloud selects the pre-sharding single-broker cloud; a
+	// package-internal hook for the 1-shard equivalence test.
+	legacyCloud bool
 }
+
+// Profile is one device class in a heterogeneous fleet. Zero-valued
+// fields inherit the top-level Config knobs.
+type Profile struct {
+	// Name labels the profile in the Summary.
+	Name string `json:"name"`
+	// Weight is the relative share of devices (default 1).
+	Weight int `json:"weight"`
+	// PublishRate, PublishBytes, and ReconnectEvery override the
+	// top-level knobs when nonzero.
+	PublishRate    float64 `json:"publish_rate,omitempty"`
+	PublishBytes   int     `json:"publish_bytes,omitempty"`
+	ReconnectEvery int     `json:"reconnect_every,omitempty"`
+	// Firmware selects the device's firmware shape: "fleetapp" (the Go
+	// load generator, default) or "jsvm" (the same loop driven by a
+	// JavaScript program on the microvium engine, like the §5.3.3
+	// iotapp — heavier per operation, as every bytecode step costs
+	// interpreter cycles).
+	Firmware string `json:"firmware,omitempty"`
+}
+
+// FirmwareGo and FirmwareJS are the supported Profile.Firmware values.
+const (
+	FirmwareGo = "fleetapp"
+	FirmwareJS = "jsvm"
+)
 
 // quantumCycles is how far a shard advances one device before moving to
 // the next. Inbox pumping happens at every kernel dispatch regardless, so
@@ -115,7 +188,68 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.CloudShards <= 0 {
+		c.CloudShards = 1
+	}
+	if c.CloudShards > c.Devices {
+		c.CloudShards = c.Devices
+	}
+	if c.FanoutBytes <= 0 {
+		c.FanoutBytes = 32
+	}
+	if c.FanoutBytes > 512 {
+		c.FanoutBytes = 512
+	}
+	for i := range c.Profiles {
+		p := &c.Profiles[i]
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("profile%d", i)
+		}
+		if p.Weight <= 0 {
+			p.Weight = 1
+		}
+		if p.PublishRate <= 0 {
+			p.PublishRate = c.PublishRate
+		}
+		if p.PublishBytes <= 0 {
+			p.PublishBytes = c.PublishBytes
+		}
+		if p.PublishBytes > 512 {
+			p.PublishBytes = 512
+		}
+		if p.ReconnectEvery <= 0 {
+			p.ReconnectEvery = c.ReconnectEvery
+		}
+		if p.Firmware == "" {
+			p.Firmware = FirmwareGo
+		}
+	}
 	return c
+}
+
+// profileFor resolves device i's profile by seeded weighted choice (its
+// own rng stream, so assignment is independent of run mode and worker
+// count). With no Profiles configured, an implicit profile mirrors the
+// top-level knobs.
+func (c Config) profileFor(i int) Profile {
+	if len(c.Profiles) == 0 {
+		return Profile{Name: "default", Weight: 1, PublishRate: c.PublishRate,
+			PublishBytes: c.PublishBytes, ReconnectEvery: c.ReconnectEvery,
+			Firmware: FirmwareGo}
+	}
+	total := 0
+	for _, p := range c.Profiles {
+		total += p.Weight
+	}
+	r := newRNG(c.Seed, uint64(i)+2<<32)
+	pick := int(r.below(uint64(total)))
+	for _, p := range c.Profiles {
+		pick -= p.Weight
+		if pick < 0 {
+			return p
+		}
+	}
+	return c.Profiles[len(c.Profiles)-1]
 }
 
 func (c Config) horizonCycles() uint64 {
@@ -133,6 +267,37 @@ func (c Config) pingOfDeathCycles() uint64 {
 		return 0
 	}
 	return uint64(c.PingOfDeathAt.Microseconds()) * (hw.DefaultHz / 1_000_000)
+}
+
+func durationCycles(d time.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	return uint64(d.Microseconds()) * (hw.DefaultHz / 1_000_000)
+}
+
+func (c Config) sessionTTLCycles() uint64 { return durationCycles(c.SessionTTL) }
+
+// fanoutEnabled reports whether devices should subscribe to the broadcast
+// and command topics and drain notifications.
+func (c Config) fanoutEnabled() bool { return c.FanoutEvery > 0 }
+
+// cloudSchedule expands the cloud-initiated event configuration into the
+// deterministic seeded schedule shared by every device.
+func (c Config) cloudSchedule() []cloud.Event {
+	if !c.fanoutEnabled() && c.FailoverAt <= 0 {
+		return nil
+	}
+	return cloud.BuildSchedule(cloud.ScheduleConfig{
+		Seed:         c.Seed,
+		Devices:      c.Devices,
+		Shards:       c.CloudShards,
+		Horizon:      c.horizonCycles(),
+		Every:        durationCycles(c.FanoutEvery),
+		PayloadBytes: c.FanoutBytes,
+		Commands:     c.FanoutCommands,
+		FailoverAt:   durationCycles(c.FailoverAt),
+	})
 }
 
 // Summary is the deterministic digest of a fleet run: everything here is
@@ -174,11 +339,41 @@ type Summary struct {
 	FramesToDevices   uint64 `json:"frames_to_devices"`
 	FramesDropped     uint64 `json:"frames_dropped"`
 
-	// Shared-cloud broker counters.
+	// Shared-cloud broker counters, summed over shards.
 	BrokerConnects     int `json:"broker_connects"`
 	BrokerSubscribes   int `json:"broker_subscribes"`
 	BrokerPublishes    int `json:"broker_publishes"`
 	BrokerLiveSessions int `json:"broker_live_sessions"`
+	// BrokerSuperseded and BrokerReaped count sessions dropped by client
+	// takeover and by TTL reaping (the churn-growth fix).
+	BrokerSuperseded int `json:"broker_superseded"`
+	BrokerReaped     int `json:"broker_reaped"`
+
+	// CloudShards is the control-plane shard count; BrokerShards is the
+	// per-shard breakdown.
+	CloudShards  int                   `json:"cloud_shards"`
+	BrokerShards []cloud.ShardCounters `json:"broker_shards"`
+
+	// Cloud-initiated event accounting. A fan-out or command "lands"
+	// when the target device holds a connected, subscribed session at
+	// the scheduled cycle; early events (before a device finishes its
+	// ~11 s bring-up) count as missed.
+	FanoutDelivered   uint64 `json:"fanout_delivered"`
+	FanoutMissed      uint64 `json:"fanout_missed"`
+	CommandsDelivered uint64 `json:"commands_delivered"`
+	FailoverKicks     uint64 `json:"failover_kicks"`
+	// NotificationsReceived counts cloud publishes the device apps
+	// actually drained end-to-end (through TLS + MQTT wait).
+	NotificationsReceived uint64 `json:"notifications_received"`
+
+	// AvailabilityPerSecond[t] is how many devices completed at least
+	// one publish during simulated second t — the fleet availability
+	// curve, which makes ping-of-death recovery measurable.
+	AvailabilityPerSecond []int `json:"availability_per_second,omitempty"`
+
+	// ProfileStats breaks the fleet down by device profile (only when
+	// Profiles are configured).
+	ProfileStats []ProfileStat `json:"profile_stats,omitempty"`
 
 	// CapabilityFaults is the fleet-wide switcher trap count; a healthy
 	// workload runs with zero.
@@ -199,6 +394,15 @@ type Summary struct {
 	// Telemetry is the fleet-merged snapshot (per-compartment cycle
 	// totals summed across devices, counters, histograms).
 	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// ProfileStat is the per-profile slice of the Summary.
+type ProfileStat struct {
+	Name      string `json:"name"`
+	Firmware  string `json:"firmware"`
+	Devices   int    `json:"devices"`
+	Connects  uint64 `json:"connects"`
+	Publishes uint64 `json:"publishes"`
 }
 
 // Result is what Run returns: the deterministic Summary plus wall-clock
@@ -224,7 +428,8 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	cloud := newCloud()
+	cl := newCloud(&cfg)
+	schedule := cfg.cloudSchedule()
 	horizon := cfg.horizonCycles()
 	devices := make([]*Device, cfg.Devices)
 	buildErrs := make([]error, cfg.Shards)
@@ -243,7 +448,7 @@ func Run(cfg Config) (*Result, error) {
 		go func(s int) {
 			defer wg.Done()
 			for _, i := range shardIndices[s] {
-				d, err := buildDevice(&cfg, cloud, i)
+				d, err := buildDevice(&cfg, cl, schedule, i)
 				if err != nil {
 					buildErrs[s] = err
 					return
@@ -274,9 +479,12 @@ func Run(cfg Config) (*Result, error) {
 	for _, d := range devices {
 		d.Sys.Shutdown()
 	}
+	// Final deterministic reap at the horizon: with every device stopped,
+	// dropping idle-beyond-TTL state is a pure function of the run.
+	cl.reapDead(horizon)
 
 	res := &Result{
-		Summary:  summarize(cfg, cloud, devices),
+		Summary:  summarize(cfg, cl, devices),
 		Devices:  devices,
 		BootWall: bootWall,
 		RunWall:  runWall,
@@ -311,9 +519,10 @@ func runShard(devices []*Device, indices []int, horizon uint64) {
 }
 
 // summarize aggregates the fleet: stats sums, exact percentiles, link and
-// broker counters, and the merged telemetry snapshot with the fleet-wide
-// cycle-attribution invariant check.
-func summarize(cfg Config, cloud *Cloud, devices []*Device) Summary {
+// per-shard broker counters, the availability curve, and the merged
+// telemetry snapshot with the fleet-wide cycle-attribution invariant
+// check.
+func summarize(cfg Config, cl *Cloud, devices []*Device) Summary {
 	s := Summary{
 		Devices:        cfg.Devices,
 		Shards:         cfg.Shards,
@@ -325,11 +534,15 @@ func summarize(cfg Config, cloud *Cloud, devices []*Device) Summary {
 		DropRate:       cfg.DropRate,
 		JitterCycles:   cfg.JitterCycles,
 		ReconnectEvery: cfg.ReconnectEvery,
+		CloudShards:    cfg.CloudShards,
 	}
 
 	var connectLat, publishLat []uint64
-	snaps := make([]telemetry.Snapshot, 0, len(devices))
+	snaps := make([]telemetry.Snapshot, 0, len(devices)+1)
 	exact := true
+	seconds := int(s.SimSeconds + 0.5)
+	availability := make([]int, seconds)
+	profiles := make(map[string]*ProfileStat)
 	for _, d := range devices {
 		if d.Err != nil {
 			s.DeviceErrors++
@@ -343,8 +556,28 @@ func summarize(cfg Config, cloud *Cloud, devices []*Device) Summary {
 		s.Reconnects += st.Reconnects
 		s.Publishes += st.Publishes
 		s.PublishErrors += st.PublishErrors
+		s.FanoutDelivered += st.FanoutDelivered
+		s.FanoutMissed += st.FanoutMissed
+		s.CommandsDelivered += st.CommandsDelivered
+		s.FailoverKicks += st.FailoverKicks
+		s.NotificationsReceived += st.Notifications
 		connectLat = append(connectLat, st.ConnectLatency...)
 		publishLat = append(publishLat, st.PublishLatency...)
+		for sec, n := range st.PublishSeconds {
+			if n > 0 && sec < len(availability) {
+				availability[sec]++
+			}
+		}
+		if len(cfg.Profiles) > 0 {
+			ps := profiles[d.Profile.Name]
+			if ps == nil {
+				ps = &ProfileStat{Name: d.Profile.Name, Firmware: d.Profile.Firmware}
+				profiles[d.Profile.Name] = ps
+			}
+			ps.Devices++
+			ps.Connects += st.Connects
+			ps.Publishes += st.Publishes
+		}
 
 		snap := d.Tel.Snapshot()
 		if snap.BaseCycles+snap.AttributedCycles != d.Sys.Cycles() {
@@ -364,6 +597,12 @@ func summarize(cfg Config, cloud *Cloud, devices []*Device) Summary {
 			s.Reboots += d.Stack.TCPIPRebooter.Reboots
 		}
 	}
+	s.AvailabilityPerSecond = availability
+	for _, p := range cfg.Profiles {
+		if ps := profiles[p.Name]; ps != nil {
+			s.ProfileStats = append(s.ProfileStats, *ps)
+		}
+	}
 
 	if s.SimSeconds > 0 {
 		s.PublishesPerSimSecond = float64(s.Publishes) / s.SimSeconds
@@ -373,9 +612,21 @@ func summarize(cfg Config, cloud *Cloud, devices []*Device) Summary {
 	s.PublishP50Ms = cyclesToMs(percentile(publishLat, 0.50))
 	s.PublishP99Ms = cyclesToMs(percentile(publishLat, 0.99))
 
-	s.BrokerConnects, s.BrokerSubscribes, s.BrokerPublishes = cloud.Broker.Counts()
-	s.BrokerLiveSessions = cloud.Broker.LiveSessions()
+	s.BrokerShards = cl.shardStats()
+	for _, sh := range s.BrokerShards {
+		s.BrokerConnects += sh.Connects
+		s.BrokerSubscribes += sh.Subscribes
+		s.BrokerPublishes += sh.Publishes
+		s.BrokerLiveSessions += sh.LiveSessions
+		s.BrokerSuperseded += sh.Superseded
+		s.BrokerReaped += sh.Reaped
+	}
 
+	// Per-shard counters enter the merged telemetry as a synthesized
+	// cycle-less snapshot (merged last, so Hz comes from the devices);
+	// the cycle-sum invariant is untouched because the cloud contributes
+	// no cycle accounts.
+	snaps = append(snaps, cloudSnapshot(s.BrokerShards))
 	s.Telemetry = telemetry.Merge(snaps...)
 	var compSum uint64
 	for _, a := range s.Telemetry.Compartments {
@@ -384,6 +635,25 @@ func summarize(cfg Config, cloud *Cloud, devices []*Device) Summary {
 	s.CycleSumExact = exact && compSum == s.Telemetry.AttributedCycles
 	s.CapabilityFaults = counterSum(s.Telemetry.Counters, telemetry.DomainSwitcher, "traps")
 	return s
+}
+
+// cloudSnapshot synthesizes a telemetry snapshot from the per-shard
+// broker counters, so fleet dashboards see the cloud side through the
+// same merged metric namespace as the devices.
+func cloudSnapshot(shards []cloud.ShardCounters) telemetry.Snapshot {
+	var snap telemetry.Snapshot
+	for _, sh := range shards {
+		comp := fmt.Sprintf("cloud/shard%d", sh.Shard)
+		snap.Counters = append(snap.Counters,
+			telemetry.MetricSnapshot{Compartment: comp, Metric: "connects", Value: int64(sh.Connects)},
+			telemetry.MetricSnapshot{Compartment: comp, Metric: "forwarded", Value: int64(sh.Forwarded)},
+			telemetry.MetricSnapshot{Compartment: comp, Metric: "publishes", Value: int64(sh.Publishes)},
+			telemetry.MetricSnapshot{Compartment: comp, Metric: "reaped", Value: int64(sh.Reaped)},
+			telemetry.MetricSnapshot{Compartment: comp, Metric: "subscribes", Value: int64(sh.Subscribes)},
+			telemetry.MetricSnapshot{Compartment: comp, Metric: "superseded", Value: int64(sh.Superseded)},
+		)
+	}
+	return snap
 }
 
 // counterSum returns the value of one merged counter (0 if absent).

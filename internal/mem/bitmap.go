@@ -9,16 +9,27 @@ func (b bitmap) get(i uint32) bool { return b[i/64]&(1<<(i%64)) != 0 }
 func (b bitmap) set(i uint32)      { b[i/64] |= 1 << (i % 64) }
 func (b bitmap) clear(i uint32)    { b[i/64] &^= 1 << (i % 64) }
 
+// rangeWords visits the words covering bits [first, last], passing each
+// word index with the mask of in-range bits within that word.
+func (b bitmap) rangeWords(first, last uint32, f func(w uint32, mask uint64)) {
+	for w := first / 64; w <= last/64; w++ {
+		mask := ^uint64(0)
+		if w == first/64 {
+			mask &= ^uint64(0) << (first % 64)
+		}
+		if w == last/64 && last%64 != 63 {
+			mask &= (1 << (last%64 + 1)) - 1
+		}
+		f(w, mask)
+	}
+}
+
 // setRange sets bits [first, last].
 func (b bitmap) setRange(first, last uint32) {
-	for i := first; i <= last; i++ {
-		b.set(i)
-	}
+	b.rangeWords(first, last, func(w uint32, mask uint64) { b[w] |= mask })
 }
 
 // clearRange clears bits [first, last].
 func (b bitmap) clearRange(first, last uint32) {
-	for i := first; i <= last; i++ {
-		b.clear(i)
-	}
+	b.rangeWords(first, last, func(w uint32, mask uint64) { b[w] &^= mask })
 }

@@ -1,5 +1,7 @@
 package mem
 
+import "math/bits"
+
 // Revocation-bit management. One bit per 8-byte granule of SRAM, stored in
 // a dedicated region in hardware; here a sidecar bitmap. The allocator sets
 // the bits when an object is freed, the load filter consults them on every
@@ -40,19 +42,33 @@ func (m *Memory) IsRevoked(addr uint32) bool { return m.isRevoked(addr) }
 // every tagged granule whose stored capability has a revoked base loses its
 // tag. It returns the index one past the last granule visited, for the
 // revoker's resumable sweep pointer.
+//
+// The sweep walks the tag bitmap a 64-bit word at a time: whole words
+// with no tags (the overwhelmingly common case — most of SRAM holds no
+// capabilities) are skipped in one compare, and within a nonzero word
+// only the set bits are visited. The revoker models the same trick in
+// hardware: the tag RAM is read one line at a time, not one bit.
 func (m *Memory) SweepGranules(start, count uint32) uint32 {
 	end := start + count
 	if max := m.Granules(); end > max {
 		end = max
 	}
-	for g := start; g < end; g++ {
-		if !m.tags.get(g) {
-			continue
+	for g := start; g < end; {
+		base := g / 64 * 64
+		word := m.tags[g/64]
+		word &= ^uint64(0) << (g % 64) // ignore bits below the start
+		if base+64 > end {
+			word &= (1 << (end % 64)) - 1 // ignore bits at or past the end
 		}
-		if c, ok := m.caps[g]; ok && m.isRevoked(c.Base()) {
-			m.tags.clear(g)
-			delete(m.caps, g)
+		for word != 0 {
+			gi := base + uint32(bits.TrailingZeros64(word))
+			word &= word - 1
+			if c, ok := m.caps[gi]; ok && m.isRevoked(c.Base()) {
+				m.tags.clear(gi)
+				delete(m.caps, gi)
+			}
 		}
+		g = base + 64
 	}
 	return end
 }

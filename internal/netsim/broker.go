@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"sync"
+
 	"github.com/cheriot-go/cheriot/internal/netproto"
 )
 
@@ -8,11 +10,29 @@ import (
 // private IoT cloud back-end of §5.3.3. Tests and the case study push
 // notifications to subscribers with Publish.
 //
-// The broker carries no lock of its own: all session and counter state
-// is confined under its ServerHost's mutex. Inbound traffic (OnData,
-// OnClose) already runs under it; the cloud-originated entry points
-// (Publish, LiveSessions, Counts) take it explicitly, which makes the
-// broker safe when shared by many concurrent Worlds.
+// Locking. Inbound dispatch (OnData, OnClose) runs under the owning
+// ServerHost's mutex, which guards the session map and all counters.
+// Each session additionally carries its own small mutex protecting the
+// TLS record state and topic set, so a *foreign* broker shard (the
+// sharded cloud control plane in internal/cloud) can deliver a sealed
+// record into a session it does not host without taking this host's
+// dispatch lock — the basis of cross-shard subscription forwarding.
+// Session mutexes are leaves: nothing is acquired under them except the
+// TCP peer's send lock and the target World's inbox lock.
+//
+// State hygiene. A broker shared by thousands of reconnecting devices
+// must not grow without bound: a session whose FIN or RST was lost to
+// link faults would otherwise linger forever. Two mechanisms bound it:
+//
+//   - supersession: an MQTT CONNECT from a device IP silently drops any
+//     older session from the same IP (the device has abandoned it; real
+//     brokers call this client takeover). Always on, and deterministic
+//     because it is driven by the device's own connect.
+//   - TTL reaping: with SetSessionTTL, sessions idle longer than the TTL
+//     (measured against the dispatching device's clock, so no foreign
+//     clock is read) are dropped, as are retained messages older than
+//     the TTL. Reaping never sends anything to a device, so it cannot
+//     perturb a simulation.
 type Broker struct {
 	host       *ServerHost
 	RootSecret []byte
@@ -21,21 +41,72 @@ type Broker struct {
 	// adds nothing under the simulation's threat model.
 	serverRandom []byte
 
-	sessions map[*TCPPeer]*brokerSession
+	sessions map[*TCPPeer]*BrokerSession
+	// byIP tracks the newest connected session per device address, for
+	// supersession and for the control plane's per-device delivery.
+	byIP map[uint32]*BrokerSession
+
+	router Router
+
+	// retain, when enabled, stores the last message per topic and replays
+	// it to new subscribers (MQTT retained-message semantics).
+	retain   bool
+	retained map[string]retainedMsg
+
+	// sessionTTL > 0 arms idle-session reaping; dispatches drives the
+	// opportunistic reap cadence.
+	sessionTTL uint64
+	dispatches uint64
 
 	// Counters for tests; guarded by host.mu (prefer Counts when the
 	// fleet is still running).
 	Connects   int
 	Subscribes int
 	Publishes  int
+	Superseded int
+	Reaped     int
 }
 
-type brokerSession struct {
+// retainedMsg is one stored message: the payload plus the publisher's
+// device-local time, used only for TTL aging.
+type retainedMsg struct {
+	payload []byte
+	at      uint64
+}
+
+// Router lets a control plane take over topic routing for a broker
+// shard. All three hooks are invoked under the broker host's dispatch
+// lock; implementations must not call back into this broker's dispatch
+// path, and must not hold their own locks while taking a session lock
+// (snapshot first, deliver after release).
+type Router interface {
+	// Subscribed runs after a session's topic set gains topic.
+	Subscribed(s *BrokerSession, topic string)
+	// RoutePublish routes a device-originated publish. Returning true
+	// suppresses the broker's local linear fan-out.
+	RoutePublish(from *BrokerSession, pkt netproto.MQTTPacket) bool
+	// SessionClosed runs when a session is torn down, superseded, or
+	// reaped, so the router can drop its subscription registrations.
+	SessionClosed(s *BrokerSession)
+}
+
+// reapEvery is how many inbound dispatches pass between opportunistic
+// reap scans when a session TTL is armed.
+const reapEvery = 1024
+
+// BrokerSession is the broker side of one device connection.
+type BrokerSession struct {
 	broker *Broker
 	peer   *TCPPeer
+
+	// mu guards tls, topics, and lastSeen. It is a leaf lock so foreign
+	// shards can Deliver into this session concurrently with (but
+	// serialized against) the home host's dispatch.
+	mu sync.Mutex
 	// tls is nil until the handshake completes.
-	tls    *netproto.Session
-	topics map[string]bool
+	tls      *netproto.Session
+	topics   map[string]bool
+	lastSeen uint64
 }
 
 // NewBroker builds a broker host listening on the MQTT-over-TLS port.
@@ -46,70 +117,270 @@ func NewBroker(ip uint32, rootSecret []byte, cert []byte) (*ServerHost, *Broker)
 		RootSecret:   rootSecret,
 		Cert:         cert,
 		serverRandom: []byte("broker-hello-rnd"),
-		sessions:     make(map[*TCPPeer]*brokerSession),
+		sessions:     make(map[*TCPPeer]*BrokerSession),
+		byIP:         make(map[uint32]*BrokerSession),
+		retained:     make(map[string]retainedMsg),
 	}
 	host.ListenTCP(netproto.PortMQTT, func(p *TCPPeer) TCPApp {
-		s := &brokerSession{broker: b, peer: p, topics: make(map[string]bool)}
+		s := &BrokerSession{broker: b, peer: p, topics: make(map[string]bool)}
 		b.sessions[p] = s
 		return s
 	})
 	return host, b
 }
 
+// SetRouter installs a control-plane router. Set it before any traffic.
+func (b *Broker) SetRouter(r Router) { b.router = r }
+
+// SetRetain enables retained-message semantics: the last publish per
+// topic is stored and replayed to new subscribers of that topic.
+func (b *Broker) SetRetain(on bool) { b.retain = on }
+
+// SetSessionTTL arms idle-session reaping: sessions (and retained
+// messages) idle longer than ttlCycles are dropped. Idle time compares
+// the stale entry's last-activity stamp against the clock of whichever
+// device's dispatch triggers the scan; choose a TTL comfortably above
+// the longest legitimate device idle period plus any inter-device clock
+// skew, or reap only at quiescence via ReapDead.
+func (b *Broker) SetSessionTTL(ttlCycles uint64) { b.sessionTTL = ttlCycles }
+
 // OnData implements TCPApp: handshake first, then MQTT-in-TLS records.
-func (s *brokerSession) OnData(p *TCPPeer, data []byte) {
+func (s *BrokerSession) OnData(p *TCPPeer, data []byte) {
+	b := s.broker
+	now := p.world.Now()
+	b.dispatches++
+	if b.sessionTTL > 0 && b.dispatches%reapEvery == 0 {
+		b.reapLocked(now)
+	}
+
+	s.mu.Lock()
+	s.lastSeen = now
 	if s.tls == nil {
 		clientRandom, err := netproto.DecodeClientHello(data)
 		if err != nil {
+			s.mu.Unlock()
 			p.Reset()
 			return
 		}
-		p.Send(netproto.EncodeServerHello(s.broker.RootSecret, s.broker.serverRandom, s.broker.Cert))
-		key := netproto.SessionKey(s.broker.RootSecret, clientRandom, s.broker.serverRandom)
+		key := netproto.SessionKey(b.RootSecret, clientRandom, b.serverRandom)
 		s.tls = netproto.NewSession(key)
+		hello := netproto.EncodeServerHello(b.RootSecret, b.serverRandom, b.Cert)
+		s.mu.Unlock()
+		p.Send(hello)
 		return
 	}
 	plain, err := s.tls.Open(data)
 	if err != nil {
+		s.mu.Unlock()
 		p.Reset()
 		return
 	}
+	s.mu.Unlock()
 	pkt, err := netproto.DecodeMQTT(plain)
 	if err != nil {
 		p.Reset()
 		return
 	}
+
 	switch pkt.Type {
 	case netproto.MQTTConnect:
-		s.broker.Connects++
+		b.Connects++
+		b.adopt(s)
 		s.reply(netproto.MQTTPacket{Type: netproto.MQTTConnAck})
 	case netproto.MQTTSubscribe:
-		s.broker.Subscribes++
+		b.Subscribes++
+		s.mu.Lock()
 		s.topics[pkt.Topic] = true
+		s.mu.Unlock()
+		if b.router != nil {
+			b.router.Subscribed(s, pkt.Topic)
+		}
 		s.reply(netproto.MQTTPacket{Type: netproto.MQTTSubAck, Topic: pkt.Topic})
+		if b.retain {
+			if m, ok := b.retained[pkt.Topic]; ok {
+				s.reply(netproto.MQTTPacket{Type: netproto.MQTTPublish,
+					Topic: pkt.Topic, Payload: m.payload})
+			}
+		}
 	case netproto.MQTTPingReq:
 		s.reply(netproto.MQTTPacket{Type: netproto.MQTTPingResp})
 	case netproto.MQTTPublish:
 		// Device-originated publish: fan out to other subscribers.
-		s.broker.Publishes++
-		s.broker.fanOut(pkt, s)
+		b.Publishes++
+		if b.retain {
+			b.retained[pkt.Topic] = retainedMsg{payload: append([]byte(nil), pkt.Payload...), at: now}
+		}
+		if b.router != nil && b.router.RoutePublish(s, pkt) {
+			return
+		}
+		b.fanOut(pkt, s)
 	}
 }
 
 // OnClose implements TCPApp.
-func (s *brokerSession) OnClose(p *TCPPeer) { delete(s.broker.sessions, p) }
+func (s *BrokerSession) OnClose(p *TCPPeer) {
+	b := s.broker
+	delete(b.sessions, p)
+	if b.byIP[p.RemoteIP] == s {
+		delete(b.byIP, p.RemoteIP)
+	}
+	if b.router != nil {
+		b.router.SessionClosed(s)
+	}
+}
 
-func (s *brokerSession) reply(pkt netproto.MQTTPacket) {
+// adopt records s as the device's current session and silently drops any
+// older sessions from the same address (client takeover): the device has
+// abandoned them — its FIN may have been lost to link faults — and will
+// never speak on them again. Runs under host.mu.
+func (b *Broker) adopt(s *BrokerSession) {
+	ip := s.peer.RemoteIP
+	for peer, old := range b.sessions {
+		if old != s && peer.RemoteIP == ip {
+			b.dropSession(old, &b.Superseded)
+		}
+	}
+	b.byIP[ip] = s
+}
+
+// dropSession removes a dead session without sending anything to the
+// device (the connection is already abandoned on the device side, so an
+// RST would perturb the simulation). Runs under host.mu.
+func (b *Broker) dropSession(s *BrokerSession, counter *int) {
+	delete(b.sessions, s.peer)
+	delete(b.host.conn, s.peer.key)
+	s.peer.markClosed()
+	if b.byIP[s.peer.RemoteIP] == s {
+		delete(b.byIP, s.peer.RemoteIP)
+	}
+	*counter++
+	if b.router != nil {
+		b.router.SessionClosed(s)
+	}
+}
+
+// reapLocked drops sessions and retained messages idle longer than the
+// TTL as of now. Runs under host.mu.
+func (b *Broker) reapLocked(now uint64) {
+	for _, s := range b.sessions {
+		s.mu.Lock()
+		last := s.lastSeen
+		s.mu.Unlock()
+		if now > last && now-last > b.sessionTTL {
+			b.dropSession(s, &b.Reaped)
+		}
+	}
+	for topic, m := range b.retained {
+		if now > m.at && now-m.at > b.sessionTTL {
+			delete(b.retained, topic)
+		}
+	}
+}
+
+// ReapDead runs one reap scan at the given cycle count — typically the
+// fleet horizon, once every device has stopped, which makes the result a
+// pure function of the run. A no-op unless a session TTL is armed.
+func (b *Broker) ReapDead(now uint64) {
+	if b.sessionTTL == 0 {
+		return
+	}
+	b.host.mu.Lock()
+	defer b.host.mu.Unlock()
+	b.reapLocked(now)
+}
+
+// KickIP resets the device's current session — the broker side of a
+// shard failover: the connection dies with an RST and the device must
+// reconnect. Safe only from the device's own goroutine (the RST is
+// delivered through the device's World).
+func (b *Broker) KickIP(ip uint32) bool {
+	b.host.mu.Lock()
+	defer b.host.mu.Unlock()
+	s := b.byIP[ip]
+	if s == nil {
+		return false
+	}
+	s.peer.Reset()
+	return true
+}
+
+// SessionFor returns the device's current connected session, nil if the
+// device has no live post-handshake session on this broker.
+func (b *Broker) SessionFor(ip uint32) *BrokerSession {
+	b.host.mu.Lock()
+	defer b.host.mu.Unlock()
+	s := b.byIP[ip]
+	if s == nil || !s.Connected() {
+		return nil
+	}
+	return s
+}
+
+// reply seals and sends one packet on the session, atomically with
+// respect to concurrent deliveries (record order must match seal order
+// or the device-side MAC check fails).
+func (s *BrokerSession) reply(pkt netproto.MQTTPacket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tls == nil {
+		return
+	}
 	s.peer.Send(s.tls.Seal(netproto.EncodeMQTT(pkt)))
 }
 
-// fanOut runs under host.mu (only reached from brokerSession.OnData).
-func (b *Broker) fanOut(pkt netproto.MQTTPacket, except *brokerSession) {
+// Deliver pushes one publish into the session if it is connected and
+// subscribed to the topic, returning whether it was sent. Safe from any
+// goroutine: this is the cross-shard forwarding path.
+func (s *BrokerSession) Deliver(topic string, payload []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tls == nil || !s.topics[topic] {
+		return false
+	}
+	s.peer.Send(s.tls.Seal(netproto.EncodeMQTT(netproto.MQTTPacket{
+		Type: netproto.MQTTPublish, Topic: topic, Payload: payload})))
+	return true
+}
+
+// RemoteIP is the device address of the session's connection.
+func (s *BrokerSession) RemoteIP() uint32 { return s.peer.RemoteIP }
+
+// Connected reports whether the TLS handshake has completed.
+func (s *BrokerSession) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tls != nil
+}
+
+// SubscribedTo reports whether the session subscribed to the topic.
+func (s *BrokerSession) SubscribedTo(topic string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.topics[topic]
+}
+
+// TopicsSnapshot copies the session's topic set (for router cleanup;
+// callers must not hold registry locks while calling it).
+func (s *BrokerSession) TopicsSnapshot() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.topics))
+	for t := range s.topics {
+		out = append(out, t)
+	}
+	return out
+}
+
+// fanOut runs under host.mu (only reached from BrokerSession.OnData).
+// This linear scan over every session is the single-broker bottleneck
+// the sharded control plane removes: with N shards each scan covers only
+// sessions/N entries.
+func (b *Broker) fanOut(pkt netproto.MQTTPacket, except *BrokerSession) {
 	for _, sess := range b.sessions {
-		if sess == except || sess.tls == nil || !sess.topics[pkt.Topic] {
+		if sess == except {
 			continue
 		}
-		sess.reply(netproto.MQTTPacket{Type: netproto.MQTTPublish, Topic: pkt.Topic, Payload: pkt.Payload})
+		sess.Deliver(pkt.Topic, pkt.Payload)
 	}
 }
 
@@ -118,12 +389,18 @@ func (b *Broker) fanOut(pkt netproto.MQTTPacket, except *brokerSession) {
 // goroutine; delivery to concurrent Worlds lands in their inboxes.
 func (b *Broker) Publish(topic string, payload []byte) int {
 	b.host.mu.Lock()
-	defer b.host.mu.Unlock()
 	b.Publishes++
-	n := 0
+	if b.retain {
+		b.retained[topic] = retainedMsg{payload: append([]byte(nil), payload...)}
+	}
+	targets := make([]*BrokerSession, 0, len(b.sessions))
 	for _, sess := range b.sessions {
-		if sess.tls != nil && sess.topics[topic] {
-			sess.reply(netproto.MQTTPacket{Type: netproto.MQTTPublish, Topic: topic, Payload: payload})
+		targets = append(targets, sess)
+	}
+	b.host.mu.Unlock()
+	n := 0
+	for _, sess := range targets {
+		if sess.Deliver(topic, payload) {
 			n++
 		}
 	}
@@ -136,11 +413,25 @@ func (b *Broker) LiveSessions() int {
 	defer b.host.mu.Unlock()
 	n := 0
 	for _, s := range b.sessions {
-		if s.tls != nil {
+		if s.Connected() {
 			n++
 		}
 	}
 	return n
+}
+
+// SessionCount reports all broker sessions, including ones mid-handshake.
+func (b *Broker) SessionCount() int {
+	b.host.mu.Lock()
+	defer b.host.mu.Unlock()
+	return len(b.sessions)
+}
+
+// RetainedCount reports stored retained messages.
+func (b *Broker) RetainedCount() int {
+	b.host.mu.Lock()
+	defer b.host.mu.Unlock()
+	return len(b.retained)
 }
 
 // Counts returns a consistent snapshot of the broker counters, safe to
@@ -149,4 +440,12 @@ func (b *Broker) Counts() (connects, subscribes, publishes int) {
 	b.host.mu.Lock()
 	defer b.host.mu.Unlock()
 	return b.Connects, b.Subscribes, b.Publishes
+}
+
+// ReapStats reports how many sessions were dropped by supersession and
+// by TTL reaping.
+func (b *Broker) ReapStats() (superseded, reaped int) {
+	b.host.mu.Lock()
+	defer b.host.mu.Unlock()
+	return b.Superseded, b.Reaped
 }

@@ -28,8 +28,10 @@ type TCPAcceptor func(p *TCPPeer) TCPApp
 // A ServerHost may be shared by many concurrent Worlds (the fleet's
 // cloud). mu serializes the whole inbound dispatch — connection map,
 // peer state, and application callbacks — so TCPApp implementations
-// (e.g. brokerSession) run single-threaded without their own locking.
-// Cloud-originated paths (Broker.Publish) take the same lock.
+// (e.g. BrokerSession) run single-threaded on their own host.
+// Cloud-originated paths (Broker.Publish) take the same lock only to
+// snapshot, then deliver through per-session locks; a foreign broker
+// shard forwarding into this host's sessions takes no host lock at all.
 type ServerHost struct {
 	IP uint32
 
@@ -155,6 +157,12 @@ func (s *ServerHost) receiveTCP(w *World, h netproto.Header, seg netproto.TCP) {
 }
 
 // TCPPeer is the server side of one TCP connection.
+//
+// mu guards the send sequence and the closed flag, so a session owned by
+// one broker shard can be written to from a foreign shard's dispatch (the
+// control plane's cross-shard forwarding) concurrently with the home
+// host's own replies. mu is a leaf below the session lock; only the
+// target World's inbox lock is taken under it.
 type TCPPeer struct {
 	world *World
 	host  *ServerHost
@@ -165,6 +173,7 @@ type TCPPeer struct {
 	RemotePort uint16
 	LocalPort  uint16
 
+	mu      sync.Mutex
 	sendSeq uint32
 	recvSeq uint32
 	closed  bool
@@ -175,6 +184,12 @@ func (p *TCPPeer) sendFlags(flags uint8) {
 }
 
 func (p *TCPPeer) sendSegment(flags uint8, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sendSegmentLocked(flags, data)
+}
+
+func (p *TCPPeer) sendSegmentLocked(flags uint8, data []byte) {
 	seg := netproto.TCP{
 		SrcPort: p.LocalPort, DstPort: p.RemotePort,
 		Seq: p.sendSeq, Flags: flags, Data: data,
@@ -190,35 +205,63 @@ func (p *TCPPeer) sendSegment(flags uint8, data []byte) {
 
 // Send pushes application data to the device.
 func (p *TCPPeer) Send(data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return
 	}
-	p.sendSegment(netproto.TCPPsh|netproto.TCPAck, data)
+	p.sendSegmentLocked(netproto.TCPPsh|netproto.TCPAck, data)
 }
 
 // Close performs an orderly FIN.
 func (p *TCPPeer) Close() {
+	p.mu.Lock()
 	if p.closed {
+		p.mu.Unlock()
 		return
 	}
-	p.sendFlags(netproto.TCPFin)
-	p.teardown()
+	p.closed = true
+	p.sendSegmentLocked(netproto.TCPFin, nil)
+	p.mu.Unlock()
+	p.finish()
 }
 
 // Reset aborts the connection.
 func (p *TCPPeer) Reset() {
+	p.mu.Lock()
 	if p.closed {
-		return
-	}
-	p.sendFlags(netproto.TCPRst)
-	p.teardown()
-}
-
-func (p *TCPPeer) teardown() {
-	if p.closed {
+		p.mu.Unlock()
 		return
 	}
 	p.closed = true
+	p.sendSegmentLocked(netproto.TCPRst, nil)
+	p.mu.Unlock()
+	p.finish()
+}
+
+// markClosed silences the peer without sending anything, reporting
+// whether it was previously open. Used when the device side has already
+// abandoned the connection (supersession, TTL reaping).
+func (p *TCPPeer) markClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.closed = true
+	return true
+}
+
+func (p *TCPPeer) teardown() {
+	if p.markClosed() {
+		p.finish()
+	}
+}
+
+// finish removes the peer from the connection map and notifies the app.
+// Deliberately not under p.mu: OnClose implementations take their own
+// locks (session, registry) that must never nest inside the peer lock.
+func (p *TCPPeer) finish() {
 	delete(p.host.conn, p.key)
 	if p.app != nil {
 		p.app.OnClose(p)

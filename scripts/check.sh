@@ -25,6 +25,11 @@ echo "== fleet smoke run =="
 go run ./cmd/cheriot-fleet -devices 16 -duration 200ms -seed 1 >/dev/null
 echo "ok"
 
+echo "== sharded-cloud smoke run (race) =="
+go run -race ./cmd/cheriot-fleet -devices 32 -shards 4 -duration 14s \
+	-fanout 2s -fanout-cmds -seed 1 >/dev/null
+echo "ok"
+
 echo "== flight-recorder forensics (race) =="
 go test -race -count=1 ./internal/flightrec/
 go test -race -count=1 -run 'FlightRecorder|Forensics|Audit' \
