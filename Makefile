@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check trace fleet fleet-shard inspect
+.PHONY: build test bench check trace fleet fleet-shard fleetobs inspect
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,15 @@ fleet:
 fleet-shard:
 	$(GO) run ./cmd/cheriot-fleet -devices 1024 -shards 8 -duration 15s \
 		-fanout 2s -fanout-cmds
+
+# Traced fleet with the health/SLO pipeline: end-to-end spans to
+# fleet-trace.json (chrome://tracing), health series to
+# fleet-health.json, and an SLO gate that fails the target (exit 3) on
+# violation.
+fleetobs:
+	$(GO) run ./cmd/cheriot-fleet -devices 64 -shards 4 -duration 14s \
+		-fanout 2s -obs -obs-trace fleet-trace.json -obs-health fleet-health.json \
+		-slo 'delivery>=0.99;p99<=50ms;crashes<=0;availability>=0.9@12s'
 
 # Flight-recorder demo: a use-after-free caught by the black box, with
 # its capability-provenance chain.

@@ -1,0 +1,162 @@
+// Fleet-observability overhead benchmark (ISSUE: fleetobs).
+//
+// Two contracts from the observability PR are measured on the
+// BENCH_fleet.json workload (64 full-firmware devices, 12 simulated
+// seconds, 2 Hz):
+//
+//  1. Disabled-but-armed tracing (ObsSample < 0) is free in simulated
+//     time — the Summary is byte-identical to a run with Obs off — and
+//     cheap in host time (≤1.10x wall clock).
+//  2. Full tracing across an 8-shard cloud yields the per-shard
+//     publish→deliver latency table recorded in BENCH_fleetobs.json.
+//
+// TestBenchFleetObsJSON writes BENCH_fleetobs.json.
+package cheriot_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/cheriot-go/cheriot/internal/fleet"
+)
+
+// fleetObsBenchRun runs the BENCH_fleet workload with the given obs
+// knobs and returns the result plus total wall time.
+func fleetObsBenchRun(tb testing.TB, mutate func(*fleet.Config)) (*fleet.Result, time.Duration) {
+	tb.Helper()
+	cfg := fleetBenchConfig(64, runtime.NumCPU())
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		tb.Fatalf("fleet.Run: %v", err)
+	}
+	return res, res.BootWall + res.RunWall
+}
+
+// BenchmarkFleetObsOverhead reports the wall-clock cost of the armed
+// tracer relative to the baseline fleet.
+func BenchmarkFleetObsOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, base := fleetObsBenchRun(b, nil)
+		_, probe := fleetObsBenchRun(b, func(c *fleet.Config) { c.Obs, c.ObsSample = true, -1 })
+		_, traced := fleetObsBenchRun(b, func(c *fleet.Config) { c.Obs, c.CloudShards = true, 8 })
+		b.ReportMetric(probe.Seconds()/base.Seconds(), "probe-overhead-x")
+		b.ReportMetric(traced.Seconds()/base.Seconds(), "traced-overhead-x")
+	}
+}
+
+// TestBenchFleetObsJSON measures the disabled-tracing overhead and the
+// traced 8-shard latency table, records both in BENCH_fleetobs.json,
+// and enforces the zero-sim-cost and ≤1.10x host-time contracts.
+func TestBenchFleetObsJSON(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock contract is meaningless under the race detector")
+	}
+	const reps = 5
+
+	probeKnobs := func(c *fleet.Config) { c.Obs, c.ObsSample = true, -1 }
+	tracedKnobs := func(c *fleet.Config) { c.Obs, c.CloudShards = true, 8 }
+
+	// Warm up allocator and page cache so neither mode pays first-run
+	// costs, then interleave base/probe runs: host-load drift hits both
+	// modes equally and the min-of-reps ratio stays honest on small
+	// workloads.
+	fleetObsBenchRun(t, nil)
+	fleetObsBenchRun(t, probeKnobs)
+
+	var base, probe *fleet.Result
+	var baseWall, probeWall time.Duration
+	for i := 0; i < reps; i++ {
+		r, w := fleetObsBenchRun(t, nil)
+		if base == nil || w < baseWall {
+			base, baseWall = r, w
+		}
+		r, w = fleetObsBenchRun(t, probeKnobs)
+		if probe == nil || w < probeWall {
+			probe, probeWall = r, w
+		}
+	}
+	var traced *fleet.Result
+	var tracedWall time.Duration
+	for i := 0; i < reps; i++ {
+		r, w := fleetObsBenchRun(t, tracedKnobs)
+		if traced == nil || w < tracedWall {
+			traced, tracedWall = r, w
+		}
+	}
+
+	// Zero simulated cost: the armed-but-silent probe's Summary is the
+	// baseline Summary, bit for bit, once the (empty) obs report is
+	// removed. Any leak of tracing into simulated time breaks this.
+	probeSummary := probe.Summary
+	probeSummary.Obs = nil
+	baseJSON, _ := json.Marshal(base.Summary)
+	probeJSON, _ := json.Marshal(probeSummary)
+	if string(baseJSON) != string(probeJSON) {
+		t.Errorf("armed tracer changed the simulated outcome:\nbase  %s\nprobe %s", baseJSON, probeJSON)
+	}
+
+	overhead := probeWall.Seconds() / baseWall.Seconds()
+	if overhead > 1.10 {
+		t.Errorf("disabled tracing costs %.3fx host time, budget 1.10x (base %.3fs, probe %.3fs)",
+			overhead, baseWall.Seconds(), probeWall.Seconds())
+	}
+
+	o := traced.Summary.Obs
+	if o == nil || o.TracedPublishes == 0 || len(o.PerShard) == 0 {
+		t.Fatalf("traced run produced no observability report: %+v", o)
+	}
+	perShard := make([]map[string]any, 0, len(o.PerShard))
+	for _, sh := range o.PerShard {
+		perShard = append(perShard, map[string]any{
+			"shard":      sh.Shard,
+			"ingress":    sh.Ingress,
+			"forwards":   sh.Forwards,
+			"samples":    sh.Samples,
+			"e2e_p50_ms": sh.E2EP50Ms,
+			"e2e_p99_ms": sh.E2EP99Ms,
+		})
+	}
+
+	report := map[string]any{
+		"benchmark":             "fleetobs overhead: tracing disabled vs armed vs full on the BENCH_fleet workload",
+		"devices":               base.Summary.Devices,
+		"sim_seconds":           base.Summary.SimSeconds,
+		"publish_rate":          base.Summary.PublishRate,
+		"num_cpu":               runtime.NumCPU(),
+		"runs_per_mode":         reps,
+		"baseline_wall_sec":     baseWall.Seconds(),
+		"probe_wall_sec":        probeWall.Seconds(),
+		"probe_overhead_ratio":  overhead,
+		"probe_sim_identical":   string(baseJSON) == string(probeJSON),
+		"traced_shards":         8,
+		"traced_wall_sec":       tracedWall.Seconds(),
+		"traced_overhead_ratio": tracedWall.Seconds() / baseWall.Seconds(),
+		"traced_publishes":      o.TracedPublishes,
+		"traced_delivered":      o.Delivered,
+		"traced_lost":           o.Lost,
+		"span_count":            o.SpanCount,
+		"e2e_p50_ms":            o.E2EP50Ms,
+		"e2e_p99_ms":            o.E2EP99Ms,
+		"per_shard":             perShard,
+		"note": "probe = tracer armed with negative sample rate (zero traces): its Summary must be " +
+			"byte-identical to the baseline (zero simulated cycles) and within 1.10x wall clock. " +
+			"traced = sample rate 1 across 8 cloud shards; wall-clock figures are machine-dependent, " +
+			"the per-shard latency table is deterministic.",
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_fleetobs.json", append(b, '\n'), 0o644); err != nil {
+		t.Fatalf("write BENCH_fleetobs.json: %v", err)
+	}
+	t.Logf("probe overhead %.3fx (base %.3fs), traced %.3fx, %d traced publishes p50 %.3fms p99 %.3fms",
+		overhead, baseWall.Seconds(), tracedWall.Seconds()/baseWall.Seconds(),
+		o.TracedPublishes, o.E2EP50Ms, o.E2EP99Ms)
+}

@@ -9,10 +9,12 @@
 //	cheriot-fleet -devices 64 -drop 0.01 -churn 16       # fault injection
 //	cheriot-fleet -devices 256 -shards 4 -fanout 2s      # sharded cloud + broadcast
 //	cheriot-fleet -devices 32 -profiles 'sensor:3:rate=2,bytes=24;jsdev:1:fw=jsvm'
+//	cheriot-fleet -devices 16 -obs -obs-trace trace.json        # message tracing
+//	cheriot-fleet -devices 16 -obs -slo 'delivery>=0.99;p99<=5ms'
 //
 // Durations are simulated time (33 MHz device clocks). The JSON summary on
 // stdout is deterministic for a given config+seed; wall-clock timings go
-// to stderr.
+// to stderr. With -slo the process exits 3 when any rule is violated.
 package main
 
 import (
@@ -26,7 +28,17 @@ import (
 	"time"
 
 	"github.com/cheriot-go/cheriot/internal/fleet"
+	"github.com/cheriot-go/cheriot/internal/fleetobs"
+	"github.com/cheriot-go/cheriot/internal/hw"
 )
+
+// sloVerdict extracts the verdict (nil when no rules were evaluated).
+func sloVerdict(o *fleetobs.Report) *fleetobs.Verdict {
+	if o == nil {
+		return nil
+	}
+	return o.SLO
+}
 
 // parseProfiles parses the -profiles spec: semicolon-separated entries of
 // the form name[:weight[:key=value,...]] with keys rate (publishes per
@@ -115,6 +127,12 @@ func main() {
 	flightrec := flag.Int("flightrec", 0, "per-device flight-recorder ring capacity (0: off)")
 	pod := flag.Duration("pod", 0, "inject a ping of death into every device at this simulated time (0: off)")
 	dumpDir := flag.String("dump-dir", "", "write each crashed device's flight-recorder dump to this directory")
+	obs := flag.Bool("obs", false, "enable distributed message tracing and the health/SLO pipeline")
+	obsSample := flag.Float64("obs-sample", 0, "publish trace sampling probability (0: trace everything; negative: armed but silent)")
+	obsSpans := flag.Int("obs-spans", 0, "per-device span buffer capacity (0: default 4096)")
+	obsTrace := flag.String("obs-trace", "", "write the merged spans as a Chrome trace to this file")
+	obsHealth := flag.String("obs-health", "", "write the per-second health series as JSON to this file")
+	slo := flag.String("slo", "", "SLO rules over the health series, e.g. 'delivery>=0.99;p99<=5ms;availability>=0.9@12s' (implies -obs; exit 3 on violation)")
 	flag.Parse()
 
 	profiles, err := parseProfiles(*profilesSpec)
@@ -144,9 +162,16 @@ func main() {
 		FailoverAt:     *failover,
 		SessionTTL:     *sessionTTL,
 		Profiles:       profiles,
+		Obs:            *obs || *slo != "",
+		ObsSample:      *obsSample,
+		ObsSpanCap:     *obsSpans,
+		SLO:            *slo,
 	}
 	if *dumpDir != "" && *flightrec == 0 {
 		log.Fatal("fleet: -dump-dir needs -flightrec to enable the recorders")
+	}
+	if (*obsTrace != "" || *obsHealth != "") && !cfg.Obs {
+		log.Fatal("fleet: -obs-trace/-obs-health need -obs")
 	}
 	res, err := fleet.Run(cfg)
 	if err != nil {
@@ -181,6 +206,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d crash dumps to %s (inspect with cheriot-inspect)\n", written, *dumpDir)
 	}
+
+	if *obsTrace != "" {
+		f, err := os.Create(*obsTrace)
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		if err := fleetobs.WriteChromeTrace(f, res.Spans, hw.DefaultHz); err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load in chrome://tracing or Perfetto)\n",
+			len(res.Spans), *obsTrace)
+	}
+	if *obsHealth != "" && s.Obs != nil {
+		f, err := os.Create(*obsHealth)
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Obs.Health); err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %d health points to %s\n", len(s.Obs.Health), *obsHealth)
+	}
+	// The SLO gate runs regardless of output format; the exit code is the
+	// machine-readable verdict.
+	defer func() {
+		if v := sloVerdict(s.Obs); v != nil && !v.Pass {
+			os.Exit(3)
+		}
+	}()
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -220,6 +278,33 @@ func main() {
 	for _, ps := range s.ProfileStats {
 		fmt.Printf("profile %s (%s): %d devices, %d connects, %d publishes\n",
 			ps.Name, ps.Firmware, ps.Devices, ps.Connects, ps.Publishes)
+	}
+	if o := s.Obs; o != nil {
+		fmt.Printf("obs: %d traced publishes (%d delivered, %d lost), %d spans (%d dropped), sample rate %g\n",
+			o.TracedPublishes, o.Delivered, o.Lost, o.SpanCount, o.SpansDropped, o.SampleRate)
+		fmt.Printf("obs publish→deliver: p50 %.2f ms, p99 %.2f ms\n", o.E2EP50Ms, o.E2EP99Ms)
+		for _, sh := range o.PerShard {
+			fmt.Printf("  shard %d: %d ingress, %d forwards, %d delivers, p50 %.2f ms, p99 %.2f ms\n",
+				sh.Shard, sh.Ingress, sh.Forwards, sh.Delivers, sh.E2EP50Ms, sh.E2EP99Ms)
+		}
+		for _, pr := range o.PerProfile {
+			fmt.Printf("  profile %s: %d samples, p50 %.2f ms, p99 %.2f ms\n",
+				pr.Name, pr.Samples, pr.E2EP50Ms, pr.E2EP99Ms)
+		}
+		if v := o.SLO; v != nil {
+			status := "PASS"
+			if !v.Pass {
+				status = "FAIL"
+			}
+			fmt.Printf("slo: %s\n", status)
+			for _, r := range v.Rules {
+				mark := "ok  "
+				if !r.OK {
+					mark = "FAIL"
+				}
+				fmt.Printf("  %s %-28s actual %g\n", mark, r.Rule, r.Actual)
+			}
+		}
 	}
 	fmt.Printf("capability faults: %d   cycle attribution exact: %v\n",
 		s.CapabilityFaults, s.CycleSumExact)

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cheriot-go/cheriot/internal/fleet"
+	"github.com/cheriot-go/cheriot/internal/fleetobs"
+)
+
+// fleetMain implements `cheriot-inspect fleet`: it reads fleet Summary
+// JSON files (as written by cheriot-fleet -json) and renders the
+// observability report — per-shard and per-profile publish→deliver
+// latency, the per-second health series, and the SLO verdict. With
+// -slo, fresh rules are evaluated against the embedded health report,
+// so a recorded run can be re-judged against new objectives without
+// re-simulating. Exits 3 if any rendered verdict fails, matching
+// cheriot-fleet's SLO gate.
+func fleetMain(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	sloRules := fs.String("slo", "", "re-evaluate these SLO rules against the embedded health series (e.g. 'p99<=50ms;availability>=0.9@12s')")
+	healthAll := fs.Bool("health", false, "print every second of the health series (default: first and last few)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cheriot-inspect fleet [-slo rules] [-health] summary.json ...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var rules []fleetobs.Rule
+	if *sloRules != "" {
+		var err error
+		rules, err = fleetobs.ParseRules(*sloRules)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	failed := false
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var s fleet.Summary
+		if err := json.Unmarshal(data, &s); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if printFleetObs(path, &s, rules, *healthAll) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(3)
+	}
+}
+
+// printFleetObs renders one summary's observability report and returns
+// whether its verdict (embedded or re-evaluated) failed.
+func printFleetObs(path string, s *fleet.Summary, rules []fleetobs.Rule, healthAll bool) bool {
+	mode := "parallel"
+	if s.Lockstep {
+		mode = "lockstep"
+	}
+	fmt.Printf("%s: %d devices, %d cloud shards, %s, seed %d, %.0f sim-seconds\n",
+		path, s.Devices, s.CloudShards, mode, s.Seed, s.SimSeconds)
+	o := s.Obs
+	if o == nil {
+		fmt.Println("  no observability report (run cheriot-fleet with -obs)")
+		return false
+	}
+	fmt.Printf("  traced publishes %d (sample rate %.3g): delivered %d, lost %d; %d spans (%d dropped), %d link drops\n",
+		o.TracedPublishes, o.SampleRate, o.Delivered, o.Lost, o.SpanCount, o.SpansDropped, o.LinkDrops)
+	fmt.Printf("  publish→deliver p50 %.3f ms  p99 %.3f ms\n", o.E2EP50Ms, o.E2EP99Ms)
+	for _, sh := range o.PerShard {
+		fmt.Printf("    shard %d: ingress %d, forwards %d, delivers %d; %d samples, p50 %.3f ms, p99 %.3f ms\n",
+			sh.Shard, sh.Ingress, sh.Forwards, sh.Delivers, sh.Samples, sh.E2EP50Ms, sh.E2EP99Ms)
+	}
+	for _, pr := range o.PerProfile {
+		fmt.Printf("    profile %-10s %4d samples, p50 %.3f ms, p99 %.3f ms\n",
+			pr.Name, pr.Samples, pr.E2EP50Ms, pr.E2EP99Ms)
+	}
+
+	printHealth(o.Health, healthAll)
+
+	// A -slo on the command line re-judges the recorded health series;
+	// otherwise render the verdict the run itself was gated on.
+	verdict := o.SLO
+	if len(rules) > 0 {
+		v := fleetobs.Evaluate(rules, o)
+		verdict = &v
+		fmt.Println("  slo (re-evaluated):")
+	} else if verdict != nil {
+		fmt.Println("  slo:")
+	}
+	if verdict == nil {
+		return false
+	}
+	for _, rr := range verdict.Rules {
+		mark := "ok  "
+		if !rr.OK {
+			mark = "FAIL"
+		}
+		fmt.Printf("    %s %-28s actual %.4g\n", mark, rr.Rule, rr.Actual)
+	}
+	if verdict.Pass {
+		fmt.Println("    verdict: PASS")
+	} else {
+		fmt.Println("    verdict: FAIL")
+	}
+	return !verdict.Pass
+}
+
+// printHealth renders the per-second series as a table. Unless asked
+// for everything, long runs elide the middle — the edges are where
+// bring-up and shutdown anomalies live.
+func printHealth(health []fleetobs.HealthPoint, all bool) {
+	if len(health) == 0 {
+		return
+	}
+	fmt.Println("  health (per sim-second):")
+	fmt.Println("    sec  avail  pub  dlvd  inflight  p50ms    p99ms    drops  crashes")
+	const edge = 4
+	for i, h := range health {
+		if !all && len(health) > 2*edge+1 && i == edge {
+			fmt.Printf("    ... (%d seconds elided; -health for all)\n", len(health)-2*edge)
+		}
+		if !all && len(health) > 2*edge+1 && i >= edge && i < len(health)-edge {
+			continue
+		}
+		fmt.Printf("    %3d  %5.2f  %3d  %4d  %8d  %7.3f  %7.3f  %5d  %7d\n",
+			h.Second, h.Availability, h.Published, h.Delivered, h.InFlight,
+			h.DeliveryP50Ms, h.DeliveryP99Ms, h.Drops, h.Crashes)
+	}
+}

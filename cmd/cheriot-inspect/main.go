@@ -12,6 +12,13 @@
 //	cheriot-inspect -chrome trace.json dump.json  # chrome://tracing export
 //	cheriot-inspect -demo                     # built-in use-after-free scenario
 //	cheriot-inspect -demo -o uaf.json         # ... and save its dump
+//
+// The fleet mode reads fleet Summary JSON (cheriot-fleet -json) instead
+// of flight-recorder dumps and renders the observability report:
+//
+//	cheriot-inspect fleet summary.json            # obs report + health + SLO verdict
+//	cheriot-inspect fleet -health summary.json    # full per-second health table
+//	cheriot-inspect fleet -slo 'p99<=50ms' s.json # re-judge a recorded run
 package main
 
 import (
@@ -26,6 +33,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		fleetMain(os.Args[2:])
+		return
+	}
 	demo := flag.Bool("demo", false, "run the built-in use-after-free scenario and inspect its black box")
 	out := flag.String("o", "", "with -demo: also write the scenario's dump JSON to this path")
 	timeline := flag.Bool("timeline", false, "print the event timeline")

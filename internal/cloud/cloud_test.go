@@ -446,7 +446,7 @@ func TestPlanePublishReachesAllShards(t *testing.T) {
 
 	// DeliverToDevice hits exactly the target device's session.
 	clients[2].subscribe(CommandTopic(2))
-	if !p.DeliverToDevice(2, testDeviceIP(2), CommandTopic(2), []byte("cmd")) {
+	if !p.DeliverToDevice(2, testDeviceIP(2), CommandTopic(2), []byte("cmd"), 0) {
 		t.Fatal("DeliverToDevice failed for a connected, subscribed device")
 	}
 	for i, c := range clients {

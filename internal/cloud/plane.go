@@ -108,6 +108,7 @@ func NewPlane(cfg Config) *Plane {
 		}
 		sh := &Shard{Index: i, IP: cfg.BaseIP + uint32(i), Host: host, Broker: broker,
 			reg: newRegistry()}
+		broker.SetShard(i)
 		broker.SetRouter(&shardRouter{plane: p, home: i})
 		p.Shards = append(p.Shards, sh)
 	}
@@ -164,13 +165,14 @@ func (p *Plane) Publish(topic string, payload []byte) int {
 // its home shard, if the device is connected and subscribed. This is the
 // deterministic fan-out path: the scheduler expands a broadcast into one
 // DeliverToDevice per device, each fired from that device's own event
-// queue, so no cross-device ordering is observable.
-func (p *Plane) DeliverToDevice(deviceIndex int, deviceIP uint32, topic string, payload []byte) bool {
+// queue, so no cross-device ordering is observable. A nonzero trace ID
+// rides in-band to the device (internal/fleetobs).
+func (p *Plane) DeliverToDevice(deviceIndex int, deviceIP uint32, topic string, payload []byte, trace uint64) bool {
 	s := p.Shards[p.HomeShard(deviceIndex)].Broker.SessionFor(deviceIP)
 	if s == nil {
 		return false
 	}
-	return s.Deliver(topic, payload)
+	return s.DeliverTraced(topic, payload, trace)
 }
 
 // KickDevice resets the device's current session on its home shard (the

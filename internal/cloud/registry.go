@@ -120,6 +120,14 @@ func (rt *shardRouter) RoutePublish(from *netsim.BrokerSession, pkt netproto.MQT
 	owner := rt.plane.ShardForTopic(pkt.Topic)
 	reg := rt.plane.Shards[owner].reg
 	local := owner == rt.home
+	// Observability: RoutePublish runs on the publisher's goroutine, so
+	// forward/deliver spans go through the publisher's World.
+	var obs netsim.Observer
+	var now uint64
+	if pkt.TraceID != 0 {
+		w := from.World()
+		obs, now = w.Obs(), w.Now()
+	}
 	n := 0
 	for _, sub := range reg.snapshot(pkt.Topic) {
 		if sub.sess == from {
@@ -128,8 +136,16 @@ func (rt *shardRouter) RoutePublish(from *netsim.BrokerSession, pkt netproto.MQT
 		if local && sub.home == rt.home {
 			continue // the legacy fan-out below us delivers these
 		}
-		if sub.sess.Deliver(pkt.Topic, pkt.Payload) && sub.home != rt.home {
-			n++
+		if sub.sess.DeliverTraced(pkt.Topic, pkt.Payload, pkt.TraceID) {
+			if obs != nil {
+				obs.MQTTDeliver(pkt.TraceID, sub.home, sub.sess.RemoteIP(), now)
+			}
+			if sub.home != rt.home {
+				n++
+				if obs != nil {
+					obs.MQTTForward(pkt.TraceID, rt.home, sub.home, now)
+				}
+			}
 		}
 	}
 	if n > 0 {

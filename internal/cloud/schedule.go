@@ -3,6 +3,7 @@ package cloud
 import (
 	"fmt"
 
+	"github.com/cheriot-go/cheriot/internal/fleetobs"
 	"github.com/cheriot-go/cheriot/internal/hw"
 )
 
@@ -41,6 +42,10 @@ type Event struct {
 	Device int
 	// Shard is the failing shard for EventFailover.
 	Shard int
+	// TraceID tags the event's deliveries for distributed tracing
+	// (assigned by BuildSchedule when ScheduleConfig.Trace is on; zero
+	// otherwise, which keeps the wire bytes unchanged).
+	TraceID uint64
 }
 
 // ScheduleConfig parameterizes BuildSchedule.
@@ -62,6 +67,9 @@ type ScheduleConfig struct {
 	// FailoverAt, when nonzero, schedules one shard failover at that
 	// cycle; the victim shard is seeded-random.
 	FailoverAt uint64
+	// Trace assigns each fan-out and command event a cloud trace ID
+	// (fleetobs.CloudTrace), making its deliveries traceable end to end.
+	Trace bool
 }
 
 // BuildSchedule expands a seeded configuration into a sorted event list.
@@ -82,11 +90,20 @@ func BuildSchedule(c ScheduleConfig) []Event {
 		c.Shards = 1
 	}
 	seq := uint64(0)
+	traceSeq := uint64(0)
+	trace := func() uint64 {
+		if !c.Trace {
+			return 0
+		}
+		traceSeq++
+		return fleetobs.CloudTrace(traceSeq - 1)
+	}
 	if c.Every > 0 {
 		for t := c.Start + c.Every; t < c.Horizon; t += c.Every {
 			out = append(out, Event{
 				At: t, Kind: EventFanout, Topic: BroadcastTopic,
 				Payload: eventPayload(&r, seq, c.PayloadBytes),
+				TraceID: trace(),
 			})
 			if c.Commands {
 				dev := int(r.below(uint64(c.Devices)))
@@ -95,6 +112,7 @@ func BuildSchedule(c ScheduleConfig) []Event {
 					Topic:   CommandTopic(dev),
 					Payload: eventPayload(&r, seq|1<<63, c.PayloadBytes),
 					Device:  dev,
+					TraceID: trace(),
 				})
 			}
 			seq++
@@ -138,7 +156,7 @@ func InstallOnDevice(core *hw.Core, p *Plane, deviceIndex int, deviceIP uint32,
 		switch ev.Kind {
 		case EventFanout:
 			core.At(ev.At, func() {
-				ok := p.DeliverToDevice(deviceIndex, deviceIP, ev.Topic, ev.Payload)
+				ok := p.DeliverToDevice(deviceIndex, deviceIP, ev.Topic, ev.Payload, ev.TraceID)
 				onEvent(ev, ok)
 			})
 		case EventCommand:
@@ -146,7 +164,7 @@ func InstallOnDevice(core *hw.Core, p *Plane, deviceIndex int, deviceIP uint32,
 				continue
 			}
 			core.At(ev.At, func() {
-				ok := p.DeliverToDevice(deviceIndex, deviceIP, ev.Topic, ev.Payload)
+				ok := p.DeliverToDevice(deviceIndex, deviceIP, ev.Topic, ev.Payload, ev.TraceID)
 				onEvent(ev, ok)
 			})
 		case EventFailover:

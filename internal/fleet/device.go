@@ -8,6 +8,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/cloud"
 	"github.com/cheriot-go/cheriot/internal/core"
 	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/fleetobs"
 	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/netproto"
@@ -82,6 +83,9 @@ type Device struct {
 	// exposes the netstack's micro-reboot driver.
 	Rec   *flightrec.Recorder
 	Stack *netstack.Stack
+	// Obs is the device's message tracer (nil unless Config.Obs). Every
+	// span it records is written on this device's goroutine.
+	Obs   *fleetobs.Tracer
 	Stats DeviceStats
 	// Err records a run failure (e.g. kernel deadlock); nil for devices
 	// that reached the horizon.
@@ -113,6 +117,17 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 		d.arrival = d.rng.below(spread)
 	}
 
+	if cfg.Obs {
+		d.Obs = fleetobs.NewTracer(fleetobs.TracerConfig{
+			Device:     i,
+			Hz:         hw.DefaultHz,
+			SampleRate: cfg.obsSampleRate(),
+			MaxSpans:   cfg.ObsSpanCap,
+			Seed:       newRNG(cfg.Seed, uint64(i)+3<<32).next(),
+			DeviceOf:   deviceIndexOf,
+		})
+	}
+
 	img := core.NewImage(fmt.Sprintf("fleet-%05d", i))
 	stack := netstack.AddTo(img, netstack.Config{
 		DeviceIP:   d.IP,
@@ -121,6 +136,7 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 		DNSServer:  DNSIP,
 		NTPServer:  NTPIP,
 		RootSecret: RootSecret,
+		Obs:        d.Obs,
 	})
 	if d.Profile.Firmware == FirmwareJS {
 		d.addJSApp(img)
@@ -140,6 +156,9 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 
 	d.World = netsim.NewWorld(sys.Board.Core, sys.Board.Net, d.IP)
 	d.World.SetConcurrent(true)
+	if d.Obs != nil {
+		d.World.SetObserver(d.Obs)
+	}
 	if cfg.DropRate > 0 || cfg.JitterCycles > 0 {
 		d.World.SetLinkFaults(cfg.DropRate, cfg.JitterCycles, newRNG(cfg.Seed, uint64(i)+1<<32).next())
 	}
@@ -164,8 +183,14 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 		// Expand the cloud event schedule onto this device's own event
 		// queue; the hooks run on the device goroutine, so DeviceStats
 		// stays single-writer.
+		homeShard := cl.Plane.HomeShard(i)
 		cloud.InstallOnDevice(sys.Board.Core, cl.Plane, i, d.IP, schedule,
 			func(ev cloud.Event, ok bool) {
+				if ok && ev.TraceID != 0 {
+					// The hook runs on this device's goroutine at its own
+					// clock: the cloud→device delivery hop is recorded here.
+					d.Obs.CloudDeliverSpan(ev.TraceID, homeShard, d.World.Now())
+				}
 				switch ev.Kind {
 				case cloud.EventFanout:
 					if ok {

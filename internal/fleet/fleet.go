@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"github.com/cheriot-go/cheriot/internal/cloud"
+	"github.com/cheriot-go/cheriot/internal/fleetobs"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
@@ -122,9 +123,39 @@ type Config struct {
 	// from the top-level knobs.
 	Profiles []Profile
 
+	// Obs enables the fleet observability pipeline (internal/fleetobs):
+	// deterministic end-to-end message tracing, the per-second health
+	// series, and SLO evaluation. Off, it costs zero simulated cycles.
+	Obs bool
+	// ObsSample is the publish sampling probability: 0 defaults to 1
+	// (trace everything); a negative value arms the tracer but samples
+	// nothing (the zero-cost probe the bench uses).
+	ObsSample float64
+	// ObsSpanCap bounds each device's span buffer (default 4096;
+	// overflow is counted, not recorded).
+	ObsSpanCap int
+	// SLO is a ';'-separated declarative rule list (see fleetobs.Rule),
+	// evaluated against the health series into Summary.Obs.SLO.
+	SLO string
+
 	// legacyCloud selects the pre-sharding single-broker cloud; a
 	// package-internal hook for the 1-shard equivalence test.
 	legacyCloud bool
+}
+
+// obsSampleRate resolves the ObsSample convention.
+func (c Config) obsSampleRate() float64 {
+	if !c.Obs {
+		return 0
+	}
+	switch {
+	case c.ObsSample < 0:
+		return 0
+	case c.ObsSample == 0:
+		return 1
+	default:
+		return c.ObsSample
+	}
 }
 
 // Profile is one device class in a heterogeneous fleet. Zero-valued
@@ -297,6 +328,7 @@ func (c Config) cloudSchedule() []cloud.Event {
 		PayloadBytes: c.FanoutBytes,
 		Commands:     c.FanoutCommands,
 		FailoverAt:   durationCycles(c.FailoverAt),
+		Trace:        c.obsSampleRate() > 0,
 	})
 }
 
@@ -391,6 +423,11 @@ type Summary struct {
 	// AttributedCycles.
 	CycleSumExact bool `json:"cycle_sum_exact"`
 
+	// Obs is the observability report — traced publish→deliver latency
+	// per shard and per profile, the per-second health series, and the
+	// SLO verdict. Nil unless Config.Obs. Fully deterministic.
+	Obs *fleetobs.Report `json:"obs,omitempty"`
+
 	// Telemetry is the fleet-merged snapshot (per-compartment cycle
 	// totals summed across devices, counters, histograms).
 	Telemetry telemetry.Snapshot `json:"telemetry"`
@@ -412,6 +449,13 @@ type Result struct {
 	Devices  []*Device
 	BootWall time.Duration
 	RunWall  time.Duration
+	// Spans is the merged, deterministically sorted span list (empty
+	// unless Config.Obs); export it with fleetobs.WriteChromeTrace.
+	Spans []fleetobs.Span
+	// MaxInboxDepth is the deepest World inbox seen at pump time across
+	// the fleet. It depends on host scheduling (worker count, timing),
+	// which is why it lives here and not in the Summary.
+	MaxInboxDepth int
 }
 
 // Run builds and runs a fleet per cfg.
@@ -419,6 +463,13 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Devices > maxDevices {
 		return nil, fmt.Errorf("fleet: %d devices exceeds the %d address pool", cfg.Devices, maxDevices)
+	}
+	sloRules, err := fleetobs.ParseRules(cfg.SLO)
+	if err != nil {
+		return nil, err
+	}
+	if len(sloRules) > 0 && !cfg.Obs {
+		return nil, errors.New("fleet: SLO rules require Obs (tracing feeds the health series)")
 	}
 	// Pre-launch audit gate: every device is stamped from one firmware
 	// shape, so one policy check covers the fleet. A violation refuses
@@ -483,13 +534,31 @@ func Run(cfg Config) (*Result, error) {
 	// dropping idle-beyond-TTL state is a pure function of the run.
 	cl.reapDead(horizon)
 
+	spans := collectSpans(devices)
 	res := &Result{
-		Summary:  summarize(cfg, cl, devices),
+		Summary:  summarize(cfg, cl, devices, sloRules, spans),
 		Devices:  devices,
 		BootWall: bootWall,
 		RunWall:  runWall,
+		Spans:    spans,
+	}
+	for _, d := range devices {
+		if depth := d.Obs.MaxInboxDepth(); depth > res.MaxInboxDepth {
+			res.MaxInboxDepth = depth
+		}
 	}
 	return res, nil
+}
+
+// collectSpans merges every device's span buffer into one
+// deterministically sorted list (nil when tracing is off).
+func collectSpans(devices []*Device) []fleetobs.Span {
+	var spans []fleetobs.Span
+	for _, d := range devices {
+		spans = append(spans, d.Obs.Spans()...)
+	}
+	fleetobs.SortSpans(spans)
+	return spans
 }
 
 // runShard advances its devices round-robin, one quantum at a time, in
@@ -522,7 +591,8 @@ func runShard(devices []*Device, indices []int, horizon uint64) {
 // per-shard broker counters, the availability curve, and the merged
 // telemetry snapshot with the fleet-wide cycle-attribution invariant
 // check.
-func summarize(cfg Config, cl *Cloud, devices []*Device) Summary {
+func summarize(cfg Config, cl *Cloud, devices []*Device,
+	sloRules []fleetobs.Rule, spans []fleetobs.Span) Summary {
 	s := Summary{
 		Devices:        cfg.Devices,
 		Shards:         cfg.Shards,
@@ -613,6 +683,12 @@ func summarize(cfg Config, cl *Cloud, devices []*Device) Summary {
 	s.PublishP99Ms = cyclesToMs(percentile(publishLat, 0.99))
 
 	s.BrokerShards = cl.shardStats()
+	// Stable shard order regardless of worker scheduling: the per-shard
+	// table (and everything derived from it, including the synthesized
+	// cloud telemetry) must not depend on how shard stats were gathered.
+	sort.Slice(s.BrokerShards, func(i, j int) bool {
+		return s.BrokerShards[i].Shard < s.BrokerShards[j].Shard
+	})
 	for _, sh := range s.BrokerShards {
 		s.BrokerConnects += sh.Connects
 		s.BrokerSubscribes += sh.Subscribes
@@ -620,6 +696,55 @@ func summarize(cfg Config, cl *Cloud, devices []*Device) Summary {
 		s.BrokerLiveSessions += sh.LiveSessions
 		s.BrokerSuperseded += sh.Superseded
 		s.BrokerReaped += sh.Reaped
+	}
+
+	if cfg.Obs {
+		in := fleetobs.Input{
+			Hz:           hw.DefaultHz,
+			Devices:      cfg.Devices,
+			Seconds:      seconds,
+			Shards:       cfg.CloudShards,
+			SampleRate:   cfg.obsSampleRate(),
+			Spans:        spans,
+			Availability: availability,
+		}
+		for _, d := range devices {
+			in.SpansDropped += d.Obs.Dropped()
+			for sec, n := range d.Obs.LinkDrops() {
+				for len(in.DropSeconds) <= sec {
+					in.DropSeconds = append(in.DropSeconds, 0)
+				}
+				in.DropSeconds[sec] += n
+			}
+			if d.Rec != nil {
+				for _, rep := range d.Rec.Reports() {
+					sec := int(rep.Cycle / hw.DefaultHz)
+					for len(in.CrashSeconds) <= sec {
+						in.CrashSeconds = append(in.CrashSeconds, 0)
+					}
+					in.CrashSeconds[sec]++
+				}
+			}
+		}
+		profOf := make([]string, len(devices))
+		for i, d := range devices {
+			profOf[i] = d.Profile.Name
+		}
+		in.ProfileOf = func(i int) string {
+			if i < 0 || i >= len(profOf) {
+				return "?"
+			}
+			return profOf[i]
+		}
+		s.Obs = fleetobs.Aggregate(in)
+		if len(sloRules) > 0 {
+			v := fleetobs.Evaluate(sloRules, s.Obs)
+			s.Obs.SLO = &v
+		}
+		// The traced latency histograms enter the merged telemetry the
+		// same way the cloud counters do: a synthesized cycle-less
+		// snapshot, leaving the cycle-sum invariant untouched.
+		snaps = append(snaps, fleetobs.TelemetrySnapshot(in))
 	}
 
 	// Per-shard counters enter the merged telemetry as a synthesized

@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cheriot-go/cheriot/internal/fleetobs"
+)
+
+// obsConfig is the traced-fleet workload the tentpole acceptance names:
+// an 8-shard cloud with broadcast fan-out, full sampling, and enough
+// horizon for every device to connect and publish.
+func obsConfig() Config {
+	return Config{
+		Devices:        8,
+		Duration:       16 * time.Second,
+		PublishRate:    2,
+		ArrivalSpread:  500 * time.Millisecond,
+		Seed:           7,
+		CloudShards:    8,
+		FanoutEvery:    2 * time.Second,
+		FanoutCommands: true,
+		Obs:            true,
+	}
+}
+
+// TestFleetObsLockstepMatchesParallel is the tentpole determinism
+// acceptance: a traced 8-shard fleet must produce byte-identical span
+// and health output in lockstep and 4-worker parallel mode.
+func TestFleetObsLockstepMatchesParallel(t *testing.T) {
+	cfg := obsConfig()
+
+	lock := cfg
+	lock.Lockstep = true
+	rLock, err := Run(lock)
+	if err != nil {
+		t.Fatalf("lockstep run: %v", err)
+	}
+	par := cfg
+	par.Shards = 4
+	rPar, err := Run(par)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+
+	obs := rLock.Summary.Obs
+	if obs == nil {
+		t.Fatal("Summary.Obs is nil with Config.Obs set")
+	}
+	if obs.TracedPublishes == 0 || obs.Delivered == 0 {
+		t.Fatalf("no traced traffic: %+v", obs)
+	}
+	if obs.SpanCount == 0 || len(rLock.Spans) != obs.SpanCount {
+		t.Errorf("span count %d vs Result.Spans %d", obs.SpanCount, len(rLock.Spans))
+	}
+	if len(obs.Health) == 0 {
+		t.Error("health series is empty")
+	}
+	if len(obs.PerShard) == 0 {
+		t.Error("per-shard obs is empty")
+	}
+	if obs.E2EP50Ms <= 0 || obs.E2EP99Ms < obs.E2EP50Ms {
+		t.Errorf("suspicious e2e percentiles: p50=%v p99=%v", obs.E2EP50Ms, obs.E2EP99Ms)
+	}
+
+	// Span taxonomy: device publishes produce publish+ingress pairs, the
+	// traced cloud schedule produces deliver spans on the target devices,
+	// and drained notifications produce recv spans.
+	kinds := map[fleetobs.SpanKind]int{}
+	for _, sp := range rLock.Spans {
+		kinds[sp.Kind]++
+	}
+	for _, k := range []fleetobs.SpanKind{fleetobs.SpanPublish, fleetobs.SpanIngress,
+		fleetobs.SpanDeliver, fleetobs.SpanRecv} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s spans recorded", k)
+		}
+	}
+
+	// Satellite: the per-shard counter table must be in sorted shard order.
+	if !sort.SliceIsSorted(rLock.Summary.BrokerShards, func(i, j int) bool {
+		return rLock.Summary.BrokerShards[i].Shard < rLock.Summary.BrokerShards[j].Shard
+	}) {
+		t.Error("BrokerShards not sorted by shard")
+	}
+
+	sl, sp := rLock.Summary, rPar.Summary
+	neutralizeMode(&sl)
+	neutralizeMode(&sp)
+	j1, j2 := summaryJSON(t, sl), summaryJSON(t, sp)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("traced parallel summary diverges from lockstep:\n--- lockstep ---\n%s\n--- parallel ---\n%s", j1, j2)
+	}
+	b1, err := json.Marshal(rLock.Spans)
+	if err != nil {
+		t.Fatalf("marshal spans: %v", err)
+	}
+	b2, err := json.Marshal(rPar.Spans)
+	if err != nil {
+		t.Fatalf("marshal spans: %v", err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("span lists differ between lockstep and parallel")
+	}
+}
+
+// TestFleetObsDisabledZeroSimCost proves the zero-cost contract two
+// ways: tracing off entirely, and tracing armed with a negative sample
+// rate (hooks installed, nothing sampled), must both leave the simulated
+// surface — every device's final cycle count and the whole deterministic
+// summary — byte-identical to the untraced baseline.
+func TestFleetObsDisabledZeroSimCost(t *testing.T) {
+	base := testConfig()
+	base.Lockstep = true
+
+	rBase, err := Run(base)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	probe := base
+	probe.Obs = true
+	probe.ObsSample = -1 // armed, samples nothing
+	rProbe, err := Run(probe)
+	if err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+
+	if len(rProbe.Spans) != 0 {
+		t.Errorf("probe recorded %d spans, want 0", len(rProbe.Spans))
+	}
+	for i := range rBase.Devices {
+		cb, cp := rBase.Devices[i].Sys.Cycles(), rProbe.Devices[i].Sys.Cycles()
+		if cb != cp {
+			t.Errorf("device %d cycles changed with armed tracer: %d vs %d", i, cb, cp)
+		}
+	}
+	sb, sp := rBase.Summary, rProbe.Summary
+	// The probe's summary legitimately differs only in the Obs report
+	// itself (an empty one is attached when armed).
+	sp.Obs = nil
+	j1, j2 := summaryJSON(t, sb), summaryJSON(t, sp)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("armed-but-unsampled tracing changed the deterministic summary:\n--- off ---\n%s\n--- armed ---\n%s", j1, j2)
+	}
+}
+
+// TestFleetObsSLOVerdict runs the traced fleet against a passing and a
+// failing rule set and checks the verdicts land in the summary.
+func TestFleetObsSLOVerdict(t *testing.T) {
+	cfg := obsConfig()
+	cfg.Lockstep = true
+	cfg.SLO = "delivery>=0.99;crashes<=0;p99<=50ms;availability>=0.9@12s"
+
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v := r.Summary.Obs.SLO
+	if v == nil {
+		t.Fatal("no SLO verdict in summary")
+	}
+	if !v.Pass {
+		t.Errorf("expected the lenient SLO to pass: %+v", v.Rules)
+	}
+	if len(v.Rules) != 4 {
+		t.Errorf("verdict has %d rules, want 4", len(v.Rules))
+	}
+
+	cfg.SLO = "p99<=0ms"
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v2 := r2.Summary.Obs.SLO
+	if v2 == nil || v2.Pass {
+		t.Errorf("impossible SLO did not fail: %+v", v2)
+	}
+}
+
+// TestFleetSLORequiresObs: SLO rules without tracing must refuse loudly,
+// not silently skip evaluation.
+func TestFleetSLORequiresObs(t *testing.T) {
+	cfg := testConfig()
+	cfg.SLO = "delivery>=0.9"
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Obs") {
+		t.Errorf("want an Obs-required error, got %v", err)
+	}
+}
+
+// TestFleetObsHeterogeneousProfiles checks the per-profile latency
+// breakdown and the synthesized fleetobs telemetry histograms.
+func TestFleetObsHeterogeneousProfiles(t *testing.T) {
+	cfg := heterogeneousConfig()
+	cfg.Obs = true
+
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	obs := r.Summary.Obs
+	if obs == nil || len(obs.PerProfile) == 0 {
+		t.Fatal("no per-profile obs breakdown")
+	}
+	names := map[string]bool{}
+	for _, p := range obs.PerProfile {
+		names[p.Name] = true
+		if p.Samples == 0 {
+			t.Errorf("profile %s has no latency samples", p.Name)
+		}
+	}
+	if !names["sensor"] {
+		t.Errorf("per-profile breakdown missing the dominant profile: %v", names)
+	}
+	found := false
+	for _, h := range r.Summary.Telemetry.Histograms {
+		if strings.HasPrefix(h.Compartment, "fleetobs/") {
+			found = true
+			if h.Metric != "publish_deliver_cycles" || h.Count == 0 {
+				t.Errorf("bad synthesized histogram: %+v", h)
+			}
+		}
+	}
+	if !found {
+		t.Error("no fleetobs/* histograms in the merged telemetry")
+	}
+}

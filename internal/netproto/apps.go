@@ -93,25 +93,41 @@ const (
 	MQTTPingResp  = 7
 )
 
-// MQTTPacket is one control packet: a type plus up to two strings.
+// MQTTPacket is one control packet: a type plus up to two strings, and
+// an optional trace ID (internal/fleetobs distributed tracing). A zero
+// TraceID encodes to exactly the historical bytes; a nonzero one appends
+// an 8-byte big-endian trailer, which old decoders ignore (the length
+// checks below tolerate trailing bytes).
 type MQTTPacket struct {
 	Type    uint8
 	Topic   string
 	Payload []byte
+	TraceID uint64
 }
 
 // EncodeMQTT serialises a control packet.
 func EncodeMQTT(p MQTTPacket) []byte {
-	b := make([]byte, 3+len(p.Topic)+2+len(p.Payload))
+	n := 3 + len(p.Topic) + 2 + len(p.Payload)
+	if p.TraceID != 0 {
+		n += 8
+	}
+	b := make([]byte, n)
 	b[0] = p.Type
 	put16(b[1:], uint16(len(p.Topic)))
 	copy(b[3:], p.Topic)
 	put16(b[3+len(p.Topic):], uint16(len(p.Payload)))
 	copy(b[5+len(p.Topic):], p.Payload)
+	if p.TraceID != 0 {
+		off := 5 + len(p.Topic) + len(p.Payload)
+		for i := 0; i < 8; i++ {
+			b[off+i] = byte(p.TraceID >> (56 - 8*i))
+		}
+	}
 	return b
 }
 
-// DecodeMQTT parses a control packet.
+// DecodeMQTT parses a control packet, recovering the trace trailer when
+// present.
 func DecodeMQTT(b []byte) (MQTTPacket, error) {
 	if len(b) < 5 {
 		return MQTTPacket{}, ErrBadPacket
@@ -124,9 +140,15 @@ func DecodeMQTT(b []byte) (MQTTPacket, error) {
 	if len(b) < 5+tl+pl {
 		return MQTTPacket{}, ErrBadPacket
 	}
-	return MQTTPacket{
+	pkt := MQTTPacket{
 		Type:    b[0],
 		Topic:   string(b[3 : 3+tl]),
 		Payload: b[5+tl : 5+tl+pl],
-	}, nil
+	}
+	if rest := b[5+tl+pl:]; len(rest) >= 8 {
+		for i := 0; i < 8; i++ {
+			pkt.TraceID = pkt.TraceID<<8 | uint64(rest[i])
+		}
+	}
+	return pkt, nil
 }

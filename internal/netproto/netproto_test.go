@@ -138,6 +138,37 @@ func TestMQTTRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMQTTTraceTrailer covers the optional 8-byte trace trailer: a
+// traced packet round-trips its ID; an untraced packet encodes to
+// exactly the legacy bytes (the zero-cost-when-disabled contract).
+func TestMQTTTraceTrailer(t *testing.T) {
+	base := MQTTPacket{Type: MQTTPublish, Topic: "fleet/3", Payload: []byte("abc")}
+	plain := EncodeMQTT(base)
+
+	traced := base
+	traced.TraceID = 0x0000040000000007
+	b := EncodeMQTT(traced)
+	if len(b) != len(plain)+8 {
+		t.Fatalf("trailer adds %d bytes, want 8", len(b)-len(plain))
+	}
+	if !bytes.Equal(b[:len(plain)], plain) {
+		t.Fatal("traced encoding changed the legacy prefix")
+	}
+	got, err := DecodeMQTT(b)
+	if err != nil || got.TraceID != traced.TraceID {
+		t.Fatalf("trace round trip: %v, %x", err, got.TraceID)
+	}
+	if got.Topic != base.Topic || !bytes.Equal(got.Payload, base.Payload) {
+		t.Fatalf("trace trailer corrupted fields: %+v", got)
+	}
+
+	// Untraced decodes carry zero; legacy decoders never see the trailer.
+	got, err = DecodeMQTT(plain)
+	if err != nil || got.TraceID != 0 {
+		t.Fatalf("plain packet decoded trace %x (%v)", got.TraceID, err)
+	}
+}
+
 func TestPropMQTTNeverPanics(t *testing.T) {
 	f := func(b []byte) bool {
 		_, _ = DecodeMQTT(b)

@@ -48,6 +48,10 @@ type Broker struct {
 
 	router Router
 
+	// shard is this broker's control-plane shard index (0 standalone),
+	// stamped into observability spans.
+	shard int
+
 	// retain, when enabled, stores the last message per topic and replays
 	// it to new subscribers (MQTT retained-message semantics).
 	retain   bool
@@ -132,6 +136,13 @@ func NewBroker(ip uint32, rootSecret []byte, cert []byte) (*ServerHost, *Broker)
 // SetRouter installs a control-plane router. Set it before any traffic.
 func (b *Broker) SetRouter(r Router) { b.router = r }
 
+// SetShard labels the broker with its control-plane shard index for
+// observability spans. Set it before any traffic.
+func (b *Broker) SetShard(i int) { b.shard = i }
+
+// Shard returns the broker's control-plane shard index.
+func (b *Broker) Shard() int { return b.shard }
+
 // SetRetain enables retained-message semantics: the last publish per
 // topic is stored and replayed to new subscribers of that topic.
 func (b *Broker) SetRetain(on bool) { b.retain = on }
@@ -205,15 +216,23 @@ func (s *BrokerSession) OnData(p *TCPPeer, data []byte) {
 	case netproto.MQTTPingReq:
 		s.reply(netproto.MQTTPacket{Type: netproto.MQTTPingResp})
 	case netproto.MQTTPublish:
-		// Device-originated publish: fan out to other subscribers.
+		// Device-originated publish: fan out to other subscribers. The
+		// ingress span is recorded first, through the publisher's own
+		// World (we are running on the publisher's goroutine), so tracing
+		// stays single-writer and deterministic.
 		b.Publishes++
+		if pkt.TraceID != 0 {
+			if o := p.world.Obs(); o != nil {
+				o.MQTTIngress(pkt.TraceID, b.shard, now)
+			}
+		}
 		if b.retain {
 			b.retained[pkt.Topic] = retainedMsg{payload: append([]byte(nil), pkt.Payload...), at: now}
 		}
 		if b.router != nil && b.router.RoutePublish(s, pkt) {
 			return
 		}
-		b.fanOut(pkt, s)
+		b.fanOut(p.world, pkt, s)
 	}
 }
 
@@ -332,15 +351,26 @@ func (s *BrokerSession) reply(pkt netproto.MQTTPacket) {
 // subscribed to the topic, returning whether it was sent. Safe from any
 // goroutine: this is the cross-shard forwarding path.
 func (s *BrokerSession) Deliver(topic string, payload []byte) bool {
+	return s.DeliverTraced(topic, payload, 0)
+}
+
+// DeliverTraced is Deliver with a trace ID carried in-band to the
+// subscriber (zero means untraced and encodes to the exact legacy
+// bytes).
+func (s *BrokerSession) DeliverTraced(topic string, payload []byte, trace uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.tls == nil || !s.topics[topic] {
 		return false
 	}
 	s.peer.Send(s.tls.Seal(netproto.EncodeMQTT(netproto.MQTTPacket{
-		Type: netproto.MQTTPublish, Topic: topic, Payload: payload})))
+		Type: netproto.MQTTPublish, Topic: topic, Payload: payload, TraceID: trace})))
 	return true
 }
+
+// World returns the World of the device whose connection backs this
+// session (routers use it to reach the publisher's observer).
+func (s *BrokerSession) World() *World { return s.peer.world }
 
 // RemoteIP is the device address of the session's connection.
 func (s *BrokerSession) RemoteIP() uint32 { return s.peer.RemoteIP }
@@ -374,13 +404,18 @@ func (s *BrokerSession) TopicsSnapshot() []string {
 // fanOut runs under host.mu (only reached from BrokerSession.OnData).
 // This linear scan over every session is the single-broker bottleneck
 // the sharded control plane removes: with N shards each scan covers only
-// sessions/N entries.
-func (b *Broker) fanOut(pkt netproto.MQTTPacket, except *BrokerSession) {
+// sessions/N entries. pubWorld is the publisher's World; deliver spans
+// are recorded through it so they land on the publisher's goroutine.
+func (b *Broker) fanOut(pubWorld *World, pkt netproto.MQTTPacket, except *BrokerSession) {
 	for _, sess := range b.sessions {
 		if sess == except {
 			continue
 		}
-		sess.Deliver(pkt.Topic, pkt.Payload)
+		if sess.DeliverTraced(pkt.Topic, pkt.Payload, pkt.TraceID) && pkt.TraceID != 0 {
+			if o := pubWorld.Obs(); o != nil {
+				o.MQTTDeliver(pkt.TraceID, b.shard, sess.RemoteIP(), pubWorld.Now())
+			}
+		}
 	}
 }
 

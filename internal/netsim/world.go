@@ -55,6 +55,32 @@ type World struct {
 	// ever touched from the owning goroutine (outbound in Send, inbound
 	// at delivery/pump time), so its PRNG needs no lock.
 	faults *linkFaults
+
+	// obs, when set, receives observability callbacks. Like faults it is
+	// only invoked from the owning goroutine: drops and pumps happen
+	// there by construction, and broker hooks fire during dispatch of
+	// this device's own frames (see Broker).
+	obs Observer
+}
+
+// Observer receives per-device observability callbacks
+// (internal/fleetobs implements it). Every hook is invoked on the
+// world's owning goroutine, stamped with the owning device's clock, so
+// an implementation can be single-writer without locks.
+type Observer interface {
+	// MQTTIngress fires when a broker shard decodes a traced publish
+	// sent by this world's device.
+	MQTTIngress(trace uint64, shard int, now uint64)
+	// MQTTForward fires when a traced publish from this device is
+	// forwarded across shards through the owning registry.
+	MQTTForward(trace uint64, fromShard, toShard int, now uint64)
+	// MQTTDeliver fires when a traced publish from this device is pushed
+	// into a subscriber session.
+	MQTTDeliver(trace uint64, shard int, targetIP uint32, now uint64)
+	// LinkDropped fires when the link drops a frame in either direction.
+	LinkDropped(now uint64)
+	// InboxPumped fires after PumpInbox moved n > 0 queued frames.
+	InboxPumped(n int)
 }
 
 // Host is a remote endpoint; it receives frames addressed to its IP and
@@ -102,6 +128,13 @@ func (w *World) SetLinkFaults(dropRate float64, jitterCycles uint64, seed uint64
 	w.faults = &linkFaults{dropRate: dropRate, jitter: jitterCycles, rng: seed}
 }
 
+// SetObserver installs the world's observability hooks. Set it before
+// the simulation runs.
+func (w *World) SetObserver(o Observer) { w.obs = o }
+
+// Obs returns the installed observer (nil when observability is off).
+func (w *World) Obs() Observer { return w.obs }
+
 // Now returns the device-local cycle count. Handlers on hosts shared
 // between worlds use it so every device keeps its own notion of time.
 func (w *World) Now() uint64 { return w.core.Clock.Cycles() }
@@ -116,12 +149,12 @@ func (w *World) Hz() uint64 { return w.core.Clock.Hz() }
 func (w *World) Send(frame []byte) {
 	atomic.AddUint64(&w.FramesFromDevice, 1)
 	if w.faults != nil && w.faults.drop() {
-		atomic.AddUint64(&w.Dropped, 1)
+		w.countDrop()
 		return
 	}
 	h, payload, err := netproto.DecodeHeader(frame)
 	if err != nil {
-		atomic.AddUint64(&w.Dropped, 1)
+		w.countDrop()
 		return
 	}
 	if h.Dst == netproto.Broadcast {
@@ -134,7 +167,7 @@ func (w *World) Send(frame []byte) {
 	}
 	host := w.hosts[h.Dst]
 	if host == nil {
-		atomic.AddUint64(&w.Dropped, 1)
+		w.countDrop()
 		return
 	}
 	p := append([]byte(nil), payload...)
@@ -168,7 +201,19 @@ func (w *World) PumpInbox() int {
 	for _, f := range frames {
 		w.deliver(f)
 	}
+	if w.obs != nil && len(frames) > 0 {
+		w.obs.InboxPumped(len(frames))
+	}
 	return len(frames)
+}
+
+// countDrop bumps the drop counter and notifies the observer. Always on
+// the owning goroutine (Send and deliver both are).
+func (w *World) countDrop() {
+	atomic.AddUint64(&w.Dropped, 1)
+	if w.obs != nil {
+		w.obs.LinkDropped(w.Now())
+	}
 }
 
 // deliver schedules one inbound frame on the owning goroutine.
@@ -177,7 +222,7 @@ func (w *World) deliver(frame []byte) {
 	delay := w.Latency
 	if w.faults != nil {
 		if w.faults.drop() {
-			atomic.AddUint64(&w.Dropped, 1)
+			w.countDrop()
 			return
 		}
 		delay += w.faults.delay()

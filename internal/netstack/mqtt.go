@@ -5,6 +5,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/api"
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/fleetobs"
 	"github.com/cheriot-go/cheriot/internal/libs"
 	"github.com/cheriot-go/cheriot/internal/netproto"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
@@ -24,13 +25,16 @@ const (
 
 type mqttState struct {
 	key cap.Capability
+	// obs is the device's tracer; nil disables tracing at zero simulated
+	// cost (every tracer method is a nil-safe no-op).
+	obs *fleetobs.Tracer
 }
 
 // addMQTT registers the MQTT compartment.
-func addMQTT(img *firmware.Image) {
+func addMQTT(img *firmware.Image, obs *fleetobs.Tracer) {
 	img.AddCompartment(&firmware.Compartment{
 		Name: MQTT, CodeSize: 11_000, WrapperCodeSize: 3_080, DataSize: 24,
-		State:   func() interface{} { return &mqttState{} },
+		State:   func() interface{} { return &mqttState{obs: obs} },
 		Imports: append(append(TLSImports(), token.Imports()...), alloc.Imports()...),
 		Exports: []*firmware.Export{
 			{Name: FnMQTTConnect, MinStack: 6144, Entry: mqttConnect},
@@ -197,11 +201,25 @@ func mqttPublish(ctx api.Context, args []api.Value) []api.Value {
 			From: ctx.Caller(), To: MQTT, Entry: FnMQTTPublish,
 			Arg: uint64(payloadBuf.Length())})
 	}
+	// Distributed tracing: a sampled publish carries its trace ID in-band
+	// (8 extra wire bytes, charged through the TLS per-byte cost model —
+	// the honest simulated price of trace context on the wire). Untraced
+	// publishes encode to the exact legacy bytes.
+	obs := ctx.State().(*mqttState).obs
+	trace := obs.SamplePublish()
+	t0 := uint64(0)
+	if trace != 0 {
+		t0 = ctx.Now()
+	}
 	_, errno = exchange(ctx, tls, netproto.MQTTPacket{
 		Type:    netproto.MQTTPublish,
 		Topic:   string(ctx.LoadBytes(topicBuf.WithAddress(topicBuf.Base()), topicBuf.Length())),
 		Payload: ctx.LoadBytes(payloadBuf.WithAddress(payloadBuf.Base()), payloadBuf.Length()),
+		TraceID: trace,
 	}, 0, 0)
+	if trace != 0 {
+		obs.PublishSpan(trace, t0, ctx.Now(), errno == api.OK)
+	}
 	return api.EV(errno)
 }
 
@@ -256,6 +274,9 @@ func mqttWait(ctx api.Context, args []api.Value) []api.Value {
 		}
 		if pkt.Type != netproto.MQTTPublish {
 			continue // e.g. a stray ping response
+		}
+		if pkt.TraceID != 0 {
+			ctx.State().(*mqttState).obs.RecvSpan(pkt.TraceID, ctx.Now())
 		}
 		n := uint32(len(pkt.Payload))
 		if n > out.Length() {

@@ -4,6 +4,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/api"
 	"github.com/cheriot-go/cheriot/internal/compartment"
 	"github.com/cheriot-go/cheriot/internal/firmware"
+	"github.com/cheriot-go/cheriot/internal/fleetobs"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/switcher"
 )
@@ -28,6 +29,11 @@ type Config struct {
 	RootSecret []byte
 	// DriverPriority is the network driver thread's priority (default 7).
 	DriverPriority int
+	// Obs, when set, enables distributed message tracing in the MQTT
+	// compartment: sampled publishes get a trace ID carried in-band, and
+	// the publish/recv hops are recorded as spans. A nil tracer costs
+	// zero simulated cycles.
+	Obs *fleetobs.Tracer
 }
 
 // Stack is the handle over the installed network stack.
@@ -65,7 +71,7 @@ func AddTo(img *firmware.Image, cfg Config) *Stack {
 	addDNS(img, cfg.DNSServer)
 	addSNTP(img, cfg.NTPServer, img.Hz)
 	addTLS(img, cfg.RootSecret)
-	addMQTT(img)
+	addMQTT(img, cfg.Obs)
 
 	img.AddThread(&firmware.Thread{
 		Name: "netdriver", Compartment: Firewall, Entry: FnFwDriver,

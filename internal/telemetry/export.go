@@ -160,6 +160,9 @@ func (s Snapshot) WriteTable(w io.Writer) {
 	}
 	fmt.Fprintf(w, "):\n")
 	fmt.Fprintf(w, "  %-22s %14s %7s\n", "compartment", "cycles", "share")
+	if len(s.Compartments) == 0 {
+		fmt.Fprintf(w, "  (no compartments recorded)\n")
+	}
 	for _, a := range s.Compartments {
 		fmt.Fprintf(w, "  %-22s %14d %6.2f%%\n", a.Name, a.Cycles, a.Pct)
 	}
@@ -185,6 +188,12 @@ func (s Snapshot) WriteTable(w io.Writer) {
 		}
 		fmt.Fprintf(w, "\nhistogram %s/%s: n=%d min=%d mean=%.1f max=%d\n",
 			h.Compartment, h.Metric, h.Count, h.Min, mean, h.Max)
+		if h.Count > 0 && len(h.Counts) == 0 {
+			// A merge across incompatible bucket layouts degrades to
+			// count/sum/min/max (see Merge); say so instead of rendering
+			// an empty distribution.
+			fmt.Fprintf(w, "  (buckets dropped: merged histograms had different bounds)\n")
+		}
 		for i, c := range h.Counts {
 			if c == 0 {
 				continue

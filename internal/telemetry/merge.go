@@ -1,6 +1,9 @@
 package telemetry
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Merge combines snapshots taken from independent registries — one per
 // simulated device in a fleet run — into a single fleet-level snapshot:
@@ -32,8 +35,12 @@ func Merge(snaps ...Snapshot) Snapshot {
 		}
 		out.BaseCycles += s.BaseCycles
 		out.AttributedCycles += s.AttributedCycles
-		out.TraceEvents += s.TraceEvents
-		out.TraceDropped += s.TraceDropped
+		// Trace accounting saturates instead of wrapping: a fleet of
+		// devices each near its own ring cap can overflow a plain sum,
+		// and a wrapped drop counter would report a healthy-looking
+		// small number.
+		out.TraceEvents = satAddInt(out.TraceEvents, s.TraceEvents)
+		out.TraceDropped = satAddU64(out.TraceDropped, s.TraceDropped)
 		for _, a := range s.Compartments {
 			compartments[a.Name] += a.Cycles
 		}
@@ -57,6 +64,22 @@ func Merge(snaps ...Snapshot) Snapshot {
 	out.Gauges = mergedMetrics(gauges)
 	out.Histograms = mergedHistograms(hists)
 	return out
+}
+
+// satAddU64 adds with saturation at the uint64 maximum.
+func satAddU64(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+// satAddInt adds two non-negative ints with saturation at MaxInt.
+func satAddInt(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
 }
 
 func mergeHistogram(into map[Key]*HistogramSnapshot, h HistogramSnapshot) {
@@ -99,6 +122,9 @@ func boundsEqual(a, b []uint64) bool {
 }
 
 func mergedAccounts(m map[string]uint64, total uint64) []AccountSnapshot {
+	if len(m) == 0 {
+		return nil // Merge() of empty snapshots stays a zero Snapshot
+	}
 	out := make([]AccountSnapshot, 0, len(m))
 	for name, cycles := range m {
 		a := AccountSnapshot{Name: name, Cycles: cycles}
@@ -117,6 +143,9 @@ func mergedAccounts(m map[string]uint64, total uint64) []AccountSnapshot {
 }
 
 func mergedMetrics(m map[Key]int64) []MetricSnapshot {
+	if len(m) == 0 {
+		return nil
+	}
 	out := make([]MetricSnapshot, 0, len(m))
 	for k, v := range m {
 		out = append(out, MetricSnapshot{Compartment: k.Compartment, Metric: k.Metric, Value: v})
@@ -131,6 +160,9 @@ func mergedMetrics(m map[Key]int64) []MetricSnapshot {
 }
 
 func mergedHistograms(m map[Key]*HistogramSnapshot) []HistogramSnapshot {
+	if len(m) == 0 {
+		return nil
+	}
 	out := make([]HistogramSnapshot, 0, len(m))
 	for _, h := range m {
 		out = append(out, *h)

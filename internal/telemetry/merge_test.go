@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"math"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -73,6 +75,70 @@ func TestMergeSnapshots(t *testing.T) {
 	// Merging is input-order independent.
 	if !reflect.DeepEqual(Merge(b, a).Counters, m.Counters) {
 		t.Fatal("merge not order independent")
+	}
+}
+
+// TestMergeEmptySnapshots: merging nothing — or only zero snapshots —
+// must yield exactly the zero Snapshot (nil sections, not empty
+// slices), so JSON output and deep-equality don't depend on how many
+// idle devices contributed.
+func TestMergeEmptySnapshots(t *testing.T) {
+	if m := Merge(); !reflect.DeepEqual(m, Snapshot{}) {
+		t.Fatalf("Merge() = %+v, want zero snapshot", m)
+	}
+	if m := Merge(Snapshot{}, Snapshot{}); !reflect.DeepEqual(m, Snapshot{}) {
+		t.Fatalf("Merge(zero, zero) = %+v, want zero snapshot", m)
+	}
+	// A histogram that never observed anything does not materialize a
+	// merged section either.
+	empty := Snapshot{Histograms: []HistogramSnapshot{{
+		Compartment: "c", Metric: "m", Bounds: []uint64{10}, Counts: []uint64{0, 0},
+	}}}
+	if m := Merge(empty); m.Histograms != nil {
+		t.Fatalf("empty histogram leaked into merge: %+v", m.Histograms)
+	}
+}
+
+// TestMergeTraceSaturation: fleet-summed trace accounting saturates at
+// the type maxima instead of wrapping to a small healthy-looking value.
+func TestMergeTraceSaturation(t *testing.T) {
+	a := Snapshot{TraceEvents: math.MaxInt - 1, TraceDropped: math.MaxUint64 - 1}
+	b := Snapshot{TraceEvents: 5, TraceDropped: 7}
+	m := Merge(a, b)
+	if m.TraceEvents != math.MaxInt {
+		t.Errorf("TraceEvents = %d, want saturation at MaxInt", m.TraceEvents)
+	}
+	if m.TraceDropped != math.MaxUint64 {
+		t.Errorf("TraceDropped = %d, want saturation at MaxUint64", m.TraceDropped)
+	}
+	// Far from the ceiling, sums stay exact.
+	m = Merge(Snapshot{TraceEvents: 2, TraceDropped: 3}, Snapshot{TraceEvents: 4, TraceDropped: 5})
+	if m.TraceEvents != 6 || m.TraceDropped != 8 {
+		t.Errorf("plain sums wrong: %d, %d", m.TraceEvents, m.TraceDropped)
+	}
+}
+
+// TestWriteTableEdgeCases: the human-readable table must say something
+// sensible for a zero snapshot and for a degraded (buckets-dropped)
+// histogram instead of rendering headers over nothing.
+func TestWriteTableEdgeCases(t *testing.T) {
+	var sb strings.Builder
+	Snapshot{}.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "(no compartments recorded)") {
+		t.Errorf("empty snapshot table missing placeholder:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	degraded := Snapshot{Histograms: []HistogramSnapshot{{
+		Compartment: "c", Metric: "m", Count: 2, Sum: 55, Min: 5, Max: 50,
+	}}}
+	degraded.WriteTable(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "histogram c/m: n=2") {
+		t.Errorf("degraded histogram header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "buckets dropped") {
+		t.Errorf("degraded histogram not flagged:\n%s", out)
 	}
 }
 

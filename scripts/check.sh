@@ -36,6 +36,19 @@ go test -race -count=1 -run 'FlightRecorder|Forensics|Audit' \
 	./internal/core/ ./internal/fleet/
 echo "ok"
 
+echo "== traced fleet + SLO gate (race) =="
+obsdir=$(mktemp -d)
+# The SLO gate makes this a real check: any delivery loss, crash, or
+# latency regression in the traced pipeline fails the run (exit 3).
+go run -race ./cmd/cheriot-fleet -devices 8 -shards 2 -duration 14s \
+	-fanout 2s -publish-rate 2 -seed 7 -obs -obs-trace "$obsdir/trace.json" \
+	-obs-health "$obsdir/health.json" -json \
+	-slo 'delivery>=0.99;crashes<=0;p99<=50ms;availability>=0.9@12s' \
+	>"$obsdir/summary.json"
+go run ./cmd/cheriot-inspect fleet "$obsdir/summary.json" >/dev/null
+rm -rf "$obsdir"
+echo "ok"
+
 echo "== forensics smoke run =="
 dumpdir=$(mktemp -d)
 go run ./cmd/cheriot-fleet -devices 4 -duration 16s -lockstep \
