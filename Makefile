@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check trace fleet fleet-shard fleetobs inspect
+.PHONY: build test bench check trace fleet fleet-shard fleetobs campaign inspect
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,11 @@ fleetobs:
 	$(GO) run ./cmd/cheriot-fleet -devices 64 -shards 4 -duration 14s \
 		-fanout 2s -obs -obs-trace fleet-trace.json -obs-health fleet-health.json \
 		-slo 'delivery>=0.99;p99<=50ms;crashes<=0;availability>=0.9@12s'
+
+# Every registered fault campaign across a 3-seed matrix, judged by
+# SLO rules and fixtures; exits 3 if any scenario×seed cell fails.
+campaign:
+	$(GO) run ./cmd/cheriot-campaign run all -seeds 3 -par 4
 
 # Flight-recorder demo: a use-after-free caught by the black box, with
 # its capability-provenance chain.

@@ -9,12 +9,19 @@
 //	cheriot-fleet -devices 64 -drop 0.01 -churn 16       # fault injection
 //	cheriot-fleet -devices 256 -shards 4 -fanout 2s      # sharded cloud + broadcast
 //	cheriot-fleet -devices 32 -profiles 'sensor:3:rate=2,bytes=24;jsdev:1:fw=jsvm'
+//	cheriot-fleet -devices 8 -shards 2 -partition 13s    # broker partition
+//	cheriot-fleet -devices 8 -clock-skew 500ms           # NTP skew fault
+//	cheriot-fleet -devices 8 -quota-storm 14s            # quota exhaustion
 //	cheriot-fleet -devices 16 -obs -obs-trace trace.json        # message tracing
 //	cheriot-fleet -devices 16 -obs -slo 'delivery>=0.99;p99<=5ms'
 //
 // Durations are simulated time (33 MHz device clocks). The JSON summary on
 // stdout is deterministic for a given config+seed; wall-clock timings go
 // to stderr. With -slo the process exits 3 when any rule is violated.
+//
+// The fleet-shaping flags build a fleet.Config through internal/fleetcli
+// — the same code path registered scenarios use (see cheriot-campaign),
+// so a flag invocation and its ported scenario are provably equivalent.
 package main
 
 import (
@@ -23,11 +30,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 	"strings"
-	"time"
 
 	"github.com/cheriot-go/cheriot/internal/fleet"
+	"github.com/cheriot-go/cheriot/internal/fleetcli"
 	"github.com/cheriot-go/cheriot/internal/fleetobs"
 	"github.com/cheriot-go/cheriot/internal/hw"
 )
@@ -40,134 +46,21 @@ func sloVerdict(o *fleetobs.Report) *fleetobs.Verdict {
 	return o.SLO
 }
 
-// parseProfiles parses the -profiles spec: semicolon-separated entries of
-// the form name[:weight[:key=value,...]] with keys rate (publishes per
-// simulated second), bytes (payload size), churn (reconnect every N
-// publishes), and fw (firmware shape: fleetapp or jsvm). Zero-valued
-// fields inherit the top-level flags.
-func parseProfiles(spec string) ([]fleet.Profile, error) {
-	var out []fleet.Profile
-	for _, entry := range strings.Split(spec, ";") {
-		entry = strings.TrimSpace(entry)
-		if entry == "" {
-			continue
-		}
-		parts := strings.SplitN(entry, ":", 3)
-		p := fleet.Profile{Name: parts[0]}
-		if len(parts) > 1 && parts[1] != "" {
-			w, err := strconv.Atoi(parts[1])
-			if err != nil || w < 1 {
-				return nil, fmt.Errorf("profile %q: bad weight %q", p.Name, parts[1])
-			}
-			p.Weight = w
-		}
-		if len(parts) > 2 {
-			for _, kv := range strings.Split(parts[2], ",") {
-				k, v, ok := strings.Cut(kv, "=")
-				if !ok {
-					return nil, fmt.Errorf("profile %q: bad option %q (want key=value)", p.Name, kv)
-				}
-				switch k {
-				case "rate":
-					f, err := strconv.ParseFloat(v, 64)
-					if err != nil {
-						return nil, fmt.Errorf("profile %q: bad rate %q", p.Name, v)
-					}
-					p.PublishRate = f
-				case "bytes":
-					n, err := strconv.Atoi(v)
-					if err != nil {
-						return nil, fmt.Errorf("profile %q: bad bytes %q", p.Name, v)
-					}
-					p.PublishBytes = n
-				case "churn":
-					n, err := strconv.Atoi(v)
-					if err != nil {
-						return nil, fmt.Errorf("profile %q: bad churn %q", p.Name, v)
-					}
-					p.ReconnectEvery = n
-				case "fw":
-					if v != fleet.FirmwareGo && v != fleet.FirmwareJS {
-						return nil, fmt.Errorf("profile %q: unknown firmware %q (want %s or %s)",
-							p.Name, v, fleet.FirmwareGo, fleet.FirmwareJS)
-					}
-					p.Firmware = v
-				default:
-					return nil, fmt.Errorf("profile %q: unknown option %q", p.Name, k)
-				}
-			}
-		}
-		out = append(out, p)
-	}
-	return out, nil
-}
-
 func main() {
-	devices := flag.Int("devices", 16, "fleet size")
-	workers := flag.Int("workers", 0, "worker-pool width (0: number of CPUs)")
-	shards := flag.Int("shards", 1, "cloud broker shard count")
-	lockstep := flag.Bool("lockstep", false, "deterministic single-goroutine round-robin mode")
-	duration := flag.Duration("duration", 20*time.Second, "simulated horizon per device (TLS connect alone takes ~10s)")
-	publishRate := flag.Float64("publish-rate", 1, "publishes per simulated second per device")
-	publishBytes := flag.Int("publish-bytes", 32, "publish payload size")
-	churn := flag.Int("churn", 0, "reconnect after every N publishes (0: off)")
-	drop := flag.Float64("drop", 0, "link frame-drop probability [0,1)")
-	jitter := flag.Uint64("jitter", 0, "inbound delivery jitter in cycles")
-	spread := flag.Duration("spread", 2*time.Second, "arrival window for staggered device start")
-	seed := flag.Uint64("seed", 1, "seed for arrival, jitter, and fault schedules")
-	fanout := flag.Duration("fanout", 0, "cloud broadcast fan-out period in simulated time (0: off)")
-	fanoutBytes := flag.Int("fanout-bytes", 32, "fan-out payload size")
-	fanoutCmds := flag.Bool("fanout-cmds", false, "add a per-device command publish alongside each fan-out")
-	failover := flag.Duration("failover", 0, "fail one seeded-random broker shard at this simulated time (0: off)")
-	sessionTTL := flag.Duration("session-ttl", 0, "broker idle-session reaping TTL in simulated time (0: off)")
-	profilesSpec := flag.String("profiles", "", "heterogeneous device profiles: 'name[:weight[:rate=N,bytes=N,churn=N,fw=jsvm]];...'")
+	opts := fleetcli.Default()
+	opts.Register(flag.CommandLine)
 	metrics := flag.Bool("metrics", false, "print the fleet-merged cycle-attribution table")
 	jsonOut := flag.Bool("json", false, "print the deterministic summary as JSON on stdout")
-	noAudit := flag.Bool("no-audit", false, "skip the pre-launch policy audit of the representative image")
-	flightrec := flag.Int("flightrec", 0, "per-device flight-recorder ring capacity (0: off)")
-	pod := flag.Duration("pod", 0, "inject a ping of death into every device at this simulated time (0: off)")
 	dumpDir := flag.String("dump-dir", "", "write each crashed device's flight-recorder dump to this directory")
-	obs := flag.Bool("obs", false, "enable distributed message tracing and the health/SLO pipeline")
-	obsSample := flag.Float64("obs-sample", 0, "publish trace sampling probability (0: trace everything; negative: armed but silent)")
-	obsSpans := flag.Int("obs-spans", 0, "per-device span buffer capacity (0: default 4096)")
 	obsTrace := flag.String("obs-trace", "", "write the merged spans as a Chrome trace to this file")
 	obsHealth := flag.String("obs-health", "", "write the per-second health series as JSON to this file")
-	slo := flag.String("slo", "", "SLO rules over the health series, e.g. 'delivery>=0.99;p99<=5ms;availability>=0.9@12s' (implies -obs; exit 3 on violation)")
 	flag.Parse()
 
-	profiles, err := parseProfiles(*profilesSpec)
+	cfg, err := opts.Config()
 	if err != nil {
-		log.Fatalf("fleet: -profiles: %v", err)
+		log.Fatalf("fleet: %v", err)
 	}
-
-	cfg := fleet.Config{
-		Devices:        *devices,
-		Shards:         *workers,
-		Lockstep:       *lockstep,
-		Duration:       *duration,
-		PublishRate:    *publishRate,
-		PublishBytes:   *publishBytes,
-		ReconnectEvery: *churn,
-		DropRate:       *drop,
-		JitterCycles:   *jitter,
-		ArrivalSpread:  *spread,
-		Seed:           *seed,
-		FlightRecorder: *flightrec,
-		PingOfDeathAt:  *pod,
-		SkipAudit:      *noAudit,
-		CloudShards:    *shards,
-		FanoutEvery:    *fanout,
-		FanoutBytes:    *fanoutBytes,
-		FanoutCommands: *fanoutCmds,
-		FailoverAt:     *failover,
-		SessionTTL:     *sessionTTL,
-		Profiles:       profiles,
-		Obs:            *obs || *slo != "",
-		ObsSample:      *obsSample,
-		ObsSpanCap:     *obsSpans,
-		SLO:            *slo,
-	}
-	if *dumpDir != "" && *flightrec == 0 {
+	if *dumpDir != "" && cfg.FlightRecorder == 0 {
 		log.Fatal("fleet: -dump-dir needs -flightrec to enable the recorders")
 	}
 	if (*obsTrace != "" || *obsHealth != "") && !cfg.Obs {
@@ -275,6 +168,17 @@ func main() {
 			s.FanoutDelivered, s.FanoutMissed, s.CommandsDelivered, s.FailoverKicks,
 			s.NotificationsReceived)
 	}
+	if p := s.Partition; p != nil {
+		fmt.Printf("partition: shard %d cut off from %d devices, %.0fs..%.0fs\n",
+			p.Shard, p.Devices, p.FromSecond, p.UntilSecond)
+	}
+	if s.SkewedDevices > 0 {
+		fmt.Printf("clock skew: %d devices running with skewed wall clocks\n", s.SkewedDevices)
+	}
+	if s.QuotaStormDenied > 0 || s.QuotaStormAllocs > 0 {
+		fmt.Printf("quota storm: %d allocations before refusal (%d refusals), %d publishes under exhaustion\n",
+			s.QuotaStormAllocs, s.QuotaStormDenied, s.QuotaStormPublishes)
+	}
 	for _, ps := range s.ProfileStats {
 		fmt.Printf("profile %s (%s): %d devices, %d connects, %d publishes\n",
 			ps.Name, ps.Firmware, ps.Devices, ps.Connects, ps.Publishes)
@@ -312,7 +216,10 @@ func main() {
 		fmt.Printf("crash reports: %d on %d devices, %d micro-reboots\n",
 			s.CrashReports, s.CrashDevices, s.Reboots)
 	}
-	if *pod > 0 && len(s.AvailabilityPerSecond) > 0 {
+	// The availability curve renders for every run long enough to have
+	// one: failover, churn, and partition campaigns need it as much as
+	// the PoD storms that introduced it.
+	if len(s.AvailabilityPerSecond) > 0 {
 		fmt.Printf("availability (devices publishing per simulated second):\n")
 		for sec, n := range s.AvailabilityPerSecond {
 			bar := strings.Repeat("#", n*40/(s.Devices+1))

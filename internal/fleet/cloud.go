@@ -113,6 +113,15 @@ func (c *Cloud) brokerIPFor(deviceIndex int) uint32 {
 	return BrokerIP
 }
 
+// homeShard is the shard a device's connection is homed on (0 in legacy
+// single-broker mode).
+func (c *Cloud) homeShard(deviceIndex int) int {
+	if c.Plane != nil {
+		return c.Plane.HomeShard(deviceIndex)
+	}
+	return 0
+}
+
 // shardStats snapshots per-shard counters; the legacy broker reports as
 // one shard with no forwarding.
 func (c *Cloud) shardStats() []cloud.ShardCounters {

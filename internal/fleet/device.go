@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 
+	"github.com/cheriot-go/cheriot/internal/alloc"
 	"github.com/cheriot-go/cheriot/internal/api"
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/cloud"
@@ -55,6 +56,13 @@ type DeviceStats struct {
 	// Notifications counts cloud publishes the app drained end-to-end.
 	Notifications uint64
 
+	// Quota-storm accounting (see Config.QuotaStormAt): allocations the
+	// storm obtained, allocator refusals, and publishes completed while
+	// the quota was exhausted.
+	StormAllocs    uint64
+	StormDenied    uint64
+	StormPublishes uint64
+
 	// PublishSeconds[t] counts successful publishes during simulated
 	// second t — the raw material of the fleet availability curve.
 	PublishSeconds []uint32
@@ -90,6 +98,12 @@ type Device struct {
 	// Err records a run failure (e.g. kernel deadlock); nil for devices
 	// that reached the horizon.
 	Err error
+
+	// Partitioned marks devices homed on the broker-partition fault's
+	// victim shard; SkewMillis is the device's seeded wall-clock skew
+	// (both zero when the respective fault is unarmed).
+	Partitioned bool
+	SkewMillis  int64
 
 	cfg     *Config
 	rng     *rng
@@ -163,6 +177,17 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 		d.World.SetLinkFaults(cfg.DropRate, cfg.JitterCycles, newRNG(cfg.Seed, uint64(i)+1<<32).next())
 	}
 	cl.attach(d.World, d.IP)
+	if victim := cfg.partitionShard(); victim >= 0 && cl.homeShard(i) == victim {
+		// Broker partition: devices homed on the victim shard lose their
+		// link to it for the window, both directions, on their own clock.
+		from, until := cfg.partitionWindow()
+		d.World.SetPartition(cl.brokerIPFor(i), from, until)
+		d.Partitioned = true
+	}
+	if skew := cfg.skewMillisFor(i); skew != 0 {
+		d.World.SetNTPSkew(skew)
+		d.SkewMillis = skew
+	}
 
 	d.Tel = sys.EnableTelemetry(cfg.TraceCapacity)
 	if cfg.FlightRecorder > 0 {
@@ -233,7 +258,7 @@ func (d *Device) addApp(img *firmware.Image) {
 	img.AddCompartment(&firmware.Compartment{
 		Name: "fleetapp", CodeSize: 3000, DataSize: 256,
 		AllocCaps: []firmware.AllocCap{{Name: "default", Quota: 16384}},
-		Imports:   fleetAppImports(),
+		Imports:   fleetAppImports(d.cfg.quotaStormCycles() > 0),
 		Exports:   []*firmware.Export{{Name: "main", MinStack: 8192, Entry: d.appMain}},
 	})
 	img.AddThread(&firmware.Thread{Name: "app", Compartment: "fleetapp", Entry: "main",
@@ -242,11 +267,16 @@ func (d *Device) addApp(img *firmware.Image) {
 
 // fleetAppImports is the app compartment's import set: DNS, SNTP, MQTT,
 // the scheduler, and network bring-up — and nothing else, which is what
-// the fleet audit policy pins down.
-func fleetAppImports() []firmware.Import {
+// the fleet audit policy pins down. The quota-exhaustion storm adds the
+// allocator (still policy-clean: the policy forbids the firewall and
+// TCP/IP, not the allocator); unarmed configs keep the image unchanged.
+func fleetAppImports(withAlloc bool) []firmware.Import {
 	imports := append(netstack.DNSImports(), netstack.SNTPImports()...)
 	imports = append(imports, netstack.MQTTImports()...)
 	imports = append(imports, sched.Imports()...)
+	if withAlloc {
+		imports = append(imports, alloc.Imports()...)
+	}
 	return append(imports, firmware.Import{
 		Kind: firmware.ImportCall, Target: netstack.NetAPI, Entry: netstack.FnNetworkUp})
 }
@@ -279,6 +309,7 @@ type appDriver struct {
 	handle     api.Value
 	interval   uint64
 	published  uint64
+	stormDone  bool
 
 	topicView   cap.Capability
 	payloadView cap.Capability
@@ -449,6 +480,10 @@ func (a *appDriver) disconnect() {
 func (a *appDriver) tick() bool {
 	ctx, d, st := a.ctx, a.d, a.st
 	a.sleep(a.interval - a.interval/8 + d.rng.below(a.interval/4+1))
+	if at := d.cfg.quotaStormCycles(); at > 0 && !a.stormDone && ctx.Now() >= at {
+		a.stormDone = true
+		a.quotaStorm()
+	}
 	if churn := d.Profile.ReconnectEvery; churn > 0 && a.published > 0 &&
 		a.published%uint64(churn) == 0 {
 		a.published = 0 // avoid re-triggering before the next publish
@@ -487,6 +522,37 @@ func (a *appDriver) markPublishSecond() {
 		a.st.PublishSeconds = append(a.st.PublishSeconds, 0)
 	}
 	a.st.PublishSeconds[sec]++
+}
+
+// quotaStorm is the quota-exhaustion fault: allocate from the app's own
+// quota until the allocator refuses, publish once while exhausted (the
+// app's memory pressure must not take the established session down —
+// the netstack compartments run on their own quotas), then free every
+// storm allocation. The flight recorder's live-allocation view is how
+// the post-run leak fixture proves nothing stayed behind.
+func (a *appDriver) quotaStorm() {
+	cl := alloc.Client{AllocCap: "default"}
+	var held []cap.Capability
+	for len(held) < 256 {
+		c, e := cl.Malloc(a.ctx, 1024)
+		if e != api.OK {
+			a.st.StormDenied++
+			break
+		}
+		held = append(held, c)
+	}
+	a.st.StormAllocs += uint64(len(held))
+	rets, err := a.ctx.Call(netstack.MQTT, netstack.FnMQTTPublish,
+		a.handle, api.C(a.topicView), api.C(a.payloadView))
+	if err == nil && api.ErrnoOf(rets) == api.OK {
+		a.st.StormPublishes++
+		a.st.Publishes++
+		a.published++
+		a.markPublishSecond()
+	}
+	for _, c := range held {
+		cl.Free(a.ctx, c)
+	}
 }
 
 // drain pulls queued cloud notifications (fan-outs, commands) with a

@@ -123,6 +123,28 @@ type Config struct {
 	// from the top-level knobs.
 	Profiles []Profile
 
+	// PartitionAt, when non-zero, partitions one seeded-random broker
+	// shard from every device homed on it at this simulated time: frames
+	// between those devices and their home broker are blackholed in both
+	// directions for PartitionFor (the broker-partition fault). Unlike
+	// FailoverAt, sessions are not reset — the devices discover the
+	// outage through their own timeouts.
+	PartitionAt time.Duration
+	// PartitionFor is the partition window length (default 3s).
+	PartitionFor time.Duration
+	// ClockSkewMax, when non-zero, gives every device a seeded wall-clock
+	// skew uniform in [-max, +max], applied to the cloud's NTP answers —
+	// the clock-skew fault. The simulated cycle clocks are unaffected;
+	// only the devices' notion of wall-clock time drifts.
+	ClockSkewMax time.Duration
+	// QuotaStormAt, when non-zero, makes every device's application
+	// exhaust its own allocation quota at this simulated time (allocate
+	// until the allocator refuses, publish once under memory pressure,
+	// then free everything) — the quota-exhaustion storm. The app
+	// compartment imports the allocator only when this is armed, so
+	// unarmed configs build byte-identical firmware images.
+	QuotaStormAt time.Duration
+
 	// Obs enables the fleet observability pipeline (internal/fleetobs):
 	// deterministic end-to-end message tracing, the per-second health
 	// series, and SLO evaluation. Off, it costs zero simulated cycles.
@@ -309,6 +331,43 @@ func durationCycles(d time.Duration) uint64 {
 
 func (c Config) sessionTTLCycles() uint64 { return durationCycles(c.SessionTTL) }
 
+func (c Config) quotaStormCycles() uint64 { return durationCycles(c.QuotaStormAt) }
+
+// partitionWindow resolves the broker-partition fault to a cycle window
+// (0,0 when unarmed).
+func (c Config) partitionWindow() (from, until uint64) {
+	if c.PartitionAt <= 0 {
+		return 0, 0
+	}
+	length := c.PartitionFor
+	if length <= 0 {
+		length = 3 * time.Second
+	}
+	from = durationCycles(c.PartitionAt)
+	return from, from + durationCycles(length)
+}
+
+// partitionShard picks the seeded-random victim shard of the
+// broker-partition fault (-1 when unarmed). Its own rng stream, so the
+// choice is independent of every other seeded schedule.
+func (c Config) partitionShard() int {
+	if c.PartitionAt <= 0 {
+		return -1
+	}
+	return int(newRNG(c.Seed, 5<<32).below(uint64(c.CloudShards)))
+}
+
+// skewMillisFor resolves device i's seeded wall-clock skew in
+// milliseconds, uniform in [-max, +max] (0 when the fault is unarmed).
+func (c Config) skewMillisFor(i int) int64 {
+	maxMs := c.ClockSkewMax.Milliseconds()
+	if maxMs <= 0 {
+		return 0
+	}
+	r := newRNG(c.Seed, uint64(i)+4<<32)
+	return int64(r.below(uint64(2*maxMs+1))) - maxMs
+}
+
 // fanoutEnabled reports whether devices should subscribe to the broadcast
 // and command topics and drain notifications.
 func (c Config) fanoutEnabled() bool { return c.FanoutEvery > 0 }
@@ -403,6 +462,18 @@ type Summary struct {
 	// curve, which makes ping-of-death recovery measurable.
 	AvailabilityPerSecond []int `json:"availability_per_second,omitempty"`
 
+	// Partition describes the broker-partition fault when armed.
+	Partition *PartitionInfo `json:"partition,omitempty"`
+	// SkewedDevices counts devices running with a non-zero seeded
+	// wall-clock skew (only when the clock-skew fault is armed).
+	SkewedDevices int `json:"skewed_devices,omitempty"`
+	// Quota-storm accounting: allocations the storm obtained before the
+	// allocator refused, refusals observed (≥1 per storming device), and
+	// publishes completed while the quota was exhausted.
+	QuotaStormAllocs    uint64 `json:"quota_storm_allocs,omitempty"`
+	QuotaStormDenied    uint64 `json:"quota_storm_denied,omitempty"`
+	QuotaStormPublishes uint64 `json:"quota_storm_publishes,omitempty"`
+
 	// ProfileStats breaks the fleet down by device profile (only when
 	// Profiles are configured).
 	ProfileStats []ProfileStat `json:"profile_stats,omitempty"`
@@ -431,6 +502,16 @@ type Summary struct {
 	// Telemetry is the fleet-merged snapshot (per-compartment cycle
 	// totals summed across devices, counters, histograms).
 	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// PartitionInfo records the resolved broker-partition fault in the
+// Summary: which shard was cut off, how many devices that affected, and
+// the window in simulated seconds.
+type PartitionInfo struct {
+	Shard       int     `json:"shard"`
+	Devices     int     `json:"devices"`
+	FromSecond  float64 `json:"from_second"`
+	UntilSecond float64 `json:"until_second"`
 }
 
 // ProfileStat is the per-profile slice of the Summary.
@@ -626,6 +707,12 @@ func summarize(cfg Config, cl *Cloud, devices []*Device,
 		s.Reconnects += st.Reconnects
 		s.Publishes += st.Publishes
 		s.PublishErrors += st.PublishErrors
+		s.QuotaStormAllocs += st.StormAllocs
+		s.QuotaStormDenied += st.StormDenied
+		s.QuotaStormPublishes += st.StormPublishes
+		if d.SkewMillis != 0 {
+			s.SkewedDevices++
+		}
 		s.FanoutDelivered += st.FanoutDelivered
 		s.FanoutMissed += st.FanoutMissed
 		s.CommandsDelivered += st.CommandsDelivered
@@ -668,6 +755,20 @@ func summarize(cfg Config, cl *Cloud, devices []*Device,
 		}
 	}
 	s.AvailabilityPerSecond = availability
+	if victim := cfg.partitionShard(); victim >= 0 {
+		from, until := cfg.partitionWindow()
+		info := &PartitionInfo{
+			Shard:       victim,
+			FromSecond:  float64(from) / float64(hw.DefaultHz),
+			UntilSecond: float64(until) / float64(hw.DefaultHz),
+		}
+		for _, d := range devices {
+			if d.Partitioned {
+				info.Devices++
+			}
+		}
+		s.Partition = info
+	}
 	for _, p := range cfg.Profiles {
 		if ps := profiles[p.Name]; ps != nil {
 			s.ProfileStats = append(s.ProfileStats, *ps)

@@ -36,7 +36,7 @@ func (d *Device) addJSApp(img *firmware.Image) {
 	img.AddCompartment(&firmware.Compartment{
 		Name: "fleetapp", CodeSize: 4000, DataSize: 512,
 		AllocCaps: []firmware.AllocCap{{Name: "default", Quota: 16384}},
-		Imports:   fleetAppImports(),
+		Imports:   fleetAppImports(d.cfg.quotaStormCycles() > 0),
 		Exports:   []*firmware.Export{{Name: "main", MinStack: 8192, Entry: d.jsMain}},
 	})
 	img.AddThread(&firmware.Thread{Name: "app", Compartment: "fleetapp", Entry: "main",

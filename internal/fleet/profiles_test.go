@@ -1,0 +1,62 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// ParseProfiles accepts the documented grammar and inherits unset
+// fields from the top-level config (zero values here).
+func TestParseProfiles(t *testing.T) {
+	ps, err := ParseProfiles("sensor:3:rate=2.5,bytes=24;gateway:2:churn=8;jsdev:1:fw=jsvm; ")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("got %d profiles, want 3 (trailing empty entry skipped)", len(ps))
+	}
+	if ps[0].Name != "sensor" || ps[0].Weight != 3 || ps[0].PublishRate != 2.5 || ps[0].PublishBytes != 24 {
+		t.Errorf("sensor = %+v", ps[0])
+	}
+	if ps[1].Name != "gateway" || ps[1].ReconnectEvery != 8 {
+		t.Errorf("gateway = %+v", ps[1])
+	}
+	if ps[2].Firmware != FirmwareJS {
+		t.Errorf("jsdev firmware = %q, want %q", ps[2].Firmware, FirmwareJS)
+	}
+	if ps, err := ParseProfiles(""); err != nil || ps != nil {
+		t.Errorf("empty spec = %v, %v; want nil, nil", ps, err)
+	}
+}
+
+// Every malformed spec is rejected with an error naming the offending
+// profile — a silently mis-parsed fleet shape would invalidate whole
+// campaigns.
+func TestParseProfilesErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"bad weight", "sensor:zero", "bad weight"},
+		{"zero weight", "sensor:0", "bad weight"},
+		{"negative weight", "sensor:-1", "bad weight"},
+		{"bad rate", "sensor:1:rate=fast", "bad rate"},
+		{"bad bytes", "sensor:1:bytes=big", "bad bytes"},
+		{"bad churn", "sensor:1:churn=lots", "bad churn"},
+		{"unknown option", "sensor:1:color=red", "unknown option"},
+		{"missing value", "sensor:1:rate", "bad option"},
+		{"unknown firmware", "sensor:1:fw=cobol", "unknown firmware"},
+		{"empty name", ":2:rate=1", "empty name"},
+		{"duplicate name", "sensor:1;gateway:2;sensor:3", "duplicate name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseProfiles(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseProfiles(%q) succeeded, want error containing %q", tc.spec, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ParseProfiles(%q) = %v, want error containing %q", tc.spec, err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,59 @@
+package fleetcli
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// ParseArgs starts from the CLI defaults and applies the flag deltas;
+// Config resolves SLO-implies-Obs and the profile spec.
+func TestParseArgs(t *testing.T) {
+	cfg, err := ParseArgs(nil)
+	if err != nil {
+		t.Fatalf("defaults: %v", err)
+	}
+	if cfg.Devices != 16 || cfg.Duration != 20*time.Second || cfg.Seed != 1 {
+		t.Errorf("default config = %+v", cfg)
+	}
+	if cfg.Obs {
+		t.Error("observability on by default")
+	}
+
+	cfg, err = ParseArgs([]string{
+		"-devices", "8", "-shards", "2", "-lockstep",
+		"-profiles", "a:2:rate=3;b:1:fw=jsvm",
+		"-partition", "13s", "-clock-skew", "500ms", "-quota-storm", "14s",
+		"-slo", "crashes<=0",
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if cfg.Devices != 8 || cfg.CloudShards != 2 || !cfg.Lockstep {
+		t.Errorf("fleet shape = %+v", cfg)
+	}
+	if len(cfg.Profiles) != 2 || cfg.Profiles[1].Firmware != "jsvm" {
+		t.Errorf("profiles = %+v", cfg.Profiles)
+	}
+	if cfg.PartitionAt != 13*time.Second || cfg.PartitionFor != 3*time.Second ||
+		cfg.ClockSkewMax != 500*time.Millisecond || cfg.QuotaStormAt != 14*time.Second {
+		t.Errorf("fault schedule = %+v", cfg)
+	}
+	if !cfg.Obs || cfg.SLO != "crashes<=0" {
+		t.Error("-slo did not imply observability")
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	if _, err := ParseArgs([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := ParseArgs([]string{"-devices", "4", "stray"}); err == nil ||
+		!strings.Contains(err.Error(), "unexpected arguments") {
+		t.Errorf("stray positional arg: %v", err)
+	}
+	if _, err := ParseArgs([]string{"-profiles", "a:1;a:2"}); err == nil ||
+		!strings.Contains(err.Error(), "duplicate name") {
+		t.Errorf("duplicate profile: %v", err)
+	}
+}

@@ -37,7 +37,9 @@ func NewNTPServer(ip uint32, clock *hw.Clock, baseUnixMillis uint64) *ServerHost
 // NewSharedNTPServer builds an NTP host that can serve many Worlds at
 // once: instead of capturing one device's clock it reads the clock of
 // whichever World the request arrived on, so every device gets time
-// consistent with its own simulation. Used by the fleet's shared cloud.
+// consistent with its own simulation. A world's armed NTP skew (the
+// clock-skew fault) offsets the answer. Used by the fleet's shared
+// cloud.
 func NewSharedNTPServer(ip uint32, baseUnixMillis uint64) *ServerHost {
 	s := NewServerHost(ip)
 	s.HandleUDP(netproto.PortNTP, func(w *World, from netproto.Header, seg netproto.UDP) []byte {
@@ -45,7 +47,7 @@ func NewSharedNTPServer(ip uint32, baseUnixMillis uint64) *ServerHost {
 		if err != nil {
 			return nil
 		}
-		now := baseUnixMillis + w.Now()*1000/w.Hz()
+		now := uint64(int64(baseUnixMillis+w.Now()*1000/w.Hz()) + w.NTPSkewMillis())
 		return netproto.EncodeNTPReply(stamp, now)
 	})
 	return s

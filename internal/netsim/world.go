@@ -56,6 +56,17 @@ type World struct {
 	// at delivery/pump time), so its PRNG needs no lock.
 	faults *linkFaults
 
+	// partition, when armed, blackholes frames between the device and one
+	// peer during a cycle window (the "broker partition" fault). Checked
+	// on the owning goroutine against the device's own clock, so the
+	// drop decisions are as deterministic as the device's own traffic.
+	partition *partitionWindow
+
+	// ntpSkewMillis offsets the wall-clock answer NewSharedNTPServer
+	// gives this world's device — the clock-skew fault. Read from host
+	// handlers, which run on the owning goroutine.
+	ntpSkewMillis int64
+
 	// obs, when set, receives observability callbacks. Like faults it is
 	// only invoked from the owning goroutine: drops and pumps happen
 	// there by construction, and broker hooks fire during dispatch of
@@ -128,6 +139,42 @@ func (w *World) SetLinkFaults(dropRate float64, jitterCycles uint64, seed uint64
 	w.faults = &linkFaults{dropRate: dropRate, jitter: jitterCycles, rng: seed}
 }
 
+// SetPartition arms a network partition between the device and peer:
+// every frame addressed to (or received from) that address during the
+// cycle window [from, until) is dropped, in both directions. One window
+// per world; call before the simulation runs.
+func (w *World) SetPartition(peer uint32, from, until uint64) {
+	if until <= from {
+		w.partition = nil
+		return
+	}
+	w.partition = &partitionWindow{peer: peer, from: from, until: until}
+}
+
+// partitioned reports whether a frame to/from peer is inside the armed
+// partition window at the device's current clock.
+func (w *World) partitioned(peer uint32) bool {
+	p := w.partition
+	if p == nil || peer != p.peer {
+		return false
+	}
+	now := w.Now()
+	return now >= p.from && now < p.until
+}
+
+// partitionWindow is one armed device↔peer blackhole interval.
+type partitionWindow struct {
+	peer        uint32
+	from, until uint64
+}
+
+// SetNTPSkew offsets this device's shared-NTP answers by the given
+// number of milliseconds (may be negative) — the clock-skew fault.
+func (w *World) SetNTPSkew(millis int64) { w.ntpSkewMillis = millis }
+
+// NTPSkewMillis returns the armed clock skew (0 when unset).
+func (w *World) NTPSkewMillis() int64 { return w.ntpSkewMillis }
+
 // SetObserver installs the world's observability hooks. Set it before
 // the simulation runs.
 func (w *World) SetObserver(o Observer) { w.obs = o }
@@ -154,6 +201,10 @@ func (w *World) Send(frame []byte) {
 	}
 	h, payload, err := netproto.DecodeHeader(frame)
 	if err != nil {
+		w.countDrop()
+		return
+	}
+	if w.partitioned(h.Dst) {
 		w.countDrop()
 		return
 	}
@@ -219,6 +270,15 @@ func (w *World) countDrop() {
 // deliver schedules one inbound frame on the owning goroutine.
 func (w *World) deliver(frame []byte) {
 	atomic.AddUint64(&w.FramesToDevice, 1)
+	if w.partition != nil {
+		// Inbound partition check; undecodable frames (e.g. the
+		// deliberately malformed ping of death) bypass it and keep their
+		// pre-partition behavior.
+		if h, _, err := netproto.DecodeHeader(frame); err == nil && w.partitioned(h.Src) {
+			w.countDrop()
+			return
+		}
+	}
 	delay := w.Latency
 	if w.faults != nil {
 		if w.faults.drop() {

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"time"
+
+	"github.com/cheriot-go/cheriot/internal/fleetcli"
+)
+
+// base is the shared small-fleet shape: lockstep (single-goroutine
+// deterministic; the campaign runner parallelizes across cells
+// instead), tight arrival spread, 2 Hz publishes. Scenario literals
+// read as deltas from this.
+func base() fleetcli.Options {
+	o := fleetcli.Default()
+	o.Seed = 0 // harness-owned: the seed matrix fills it per cell
+	o.Devices = 8
+	o.Lockstep = true
+	o.Spread = 500 * time.Millisecond
+	o.PublishRate = 2
+	return o
+}
+
+// The four ported ad-hoc campaigns (pod storm, shard failover,
+// reconnect churn, heterogeneous profiles) and the three new fault
+// campaigns (broker partition, clock skew, quota storm). Every
+// Equivalent string is a cheriot-fleet flag line; the equivalence test
+// parses it through fleetcli.ParseArgs and proves the configs — and
+// the run summaries — are identical.
+func init() {
+	// --- Ported campaigns ---
+
+	// The §5 ping-of-death storm (EXPERIMENTS "Fleet-scale forensics"):
+	// every device crashes at 13s, micro-reboots, and rejoins; the 30s
+	// horizon gives the ~10s TLS re-handshake room to finish.
+	Register(Scenario{
+		Name:    "pod-storm",
+		Summary: "ping-of-death storm: crash every device at 13s, recover by micro-reboot",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.Duration = 30 * time.Second
+			o.FlightRec = 512
+			o.PoD = 13 * time.Second
+			return o
+		}(),
+		SLO: "availability>=0.9@28s;crashes>=8",
+		Fixtures: []Fixture{
+			FaultObserved{Fault: "pod"},
+			CycleSumExact{},
+		},
+		Equivalent: "-devices 8 -lockstep -duration 30s -spread 500ms -publish-rate 2 " +
+			"-flightrec 512 -pod 13s -slo availability>=0.9@28s;crashes>=8",
+	})
+
+	// The sharded-cloud failover campaign (README `-shards 2 -failover
+	// 13s`): one seeded-random broker shard dies at 13s, its devices are
+	// kicked and re-home onto the survivor.
+	Register(Scenario{
+		Name:    "shard-failover",
+		Summary: "kill one broker shard at 13s; kicked devices re-home to the survivor",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.CloudShards = 2
+			o.Duration = 30 * time.Second
+			o.Failover = 13 * time.Second
+			return o
+		}(),
+		SLO: "availability>=0.9@28s;crashes<=0",
+		Fixtures: []Fixture{
+			FaultObserved{Fault: "failover"},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+		Equivalent: "-devices 8 -shards 2 -lockstep -duration 30s -spread 500ms -publish-rate 2 " +
+			"-failover 13s -slo availability>=0.9@28s;crashes<=0",
+	})
+
+	// The reconnect-churn campaign (README `-churn`): every device tears
+	// its session down after every 8 publishes and re-handshakes.
+	Register(Scenario{
+		Name:    "reconnect-churn",
+		Summary: "tear down and re-handshake every 8 publishes; no leaks, no losses",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.Duration = 30 * time.Second
+			o.Churn = 8
+			return o
+		}(),
+		SLO: "crashes<=0;lost<=0",
+		Fixtures: []Fixture{
+			Churned{},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+		Equivalent: "-devices 8 -lockstep -duration 30s -spread 500ms -publish-rate 2 " +
+			"-churn 8 -slo crashes<=0;lost<=0",
+	})
+
+	// The heterogeneous-fleet campaign (README `-profiles`): weighted
+	// sensor/gateway/jsvm profiles, the jsvm devices running the same
+	// load generator as microvium bytecode.
+	Register(Scenario{
+		Name:    "mixed-profiles",
+		Summary: "heterogeneous fleet: weighted sensor/gateway profiles plus jsvm firmware",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.Devices = 6
+			o.Duration = 16 * time.Second
+			o.Spread = 1 * time.Second
+			o.Profiles = "sensor:3:rate=2,bytes=24;gateway:2:churn=6;jsdev:1:fw=jsvm"
+			return o
+		}(),
+		SLO: "crashes<=0;lost<=0;delivery>=0.9",
+		Fixtures: []Fixture{
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+		Equivalent: "-devices 6 -lockstep -duration 16s -spread 1s -publish-rate 2 " +
+			"-profiles sensor:3:rate=2,bytes=24;gateway:2:churn=6;jsdev:1:fw=jsvm " +
+			"-slo crashes<=0;lost<=0;delivery>=0.9",
+	})
+
+	// --- New fault campaigns ---
+
+	// Broker partition: one seeded-random shard's traffic blackholes for
+	// 3s; its devices must detect the dead session and re-home.
+	Register(Scenario{
+		Name:    "broker-partition",
+		Summary: "blackhole one broker shard's traffic 13s..16s; devices reconnect through it",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.CloudShards = 2
+			o.Duration = 30 * time.Second
+			o.Partition = 13 * time.Second
+			return o
+		}(),
+		SLO: "availability>=0.9@28s;crashes<=0",
+		Fixtures: []Fixture{
+			FaultObserved{Fault: "partition"},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+	})
+
+	// Clock skew: every device's NTP answer is skewed by a seeded offset
+	// in [-500ms, +500ms]. Wall-clock drift must not disturb the
+	// cycle-domain protocol machinery: no losses, full delivery.
+	Register(Scenario{
+		Name:    "clock-skew",
+		Summary: "seeded per-device NTP skew in ±500ms; delivery must not care",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.Duration = 16 * time.Second
+			o.ClockSkew = 500 * time.Millisecond
+			return o
+		}(),
+		SLO: "delivery>=0.99;crashes<=0;lost<=0",
+		Fixtures: []Fixture{
+			FaultObserved{Fault: "skew"},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+	})
+
+	// Quota-exhaustion storm: at 14s every app compartment allocates its
+	// own "default" quota dry, publishes once while exhausted (the
+	// netstack's quotas are separate — the publish must go through),
+	// then frees everything. The flight recorder proves the storm
+	// leaked nothing.
+	Register(Scenario{
+		Name:    "quota-storm",
+		Summary: "exhaust every app's alloc quota at 14s; publish under pressure, leak nothing",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.Duration = 18 * time.Second
+			o.QuotaStorm = 14 * time.Second
+			return o
+		}(),
+		SLO: "crashes<=0;lost<=0",
+		Fixtures: []Fixture{
+			FaultObserved{Fault: "quota-storm"},
+			LeakFree{Owner: "fleetapp", MaxLive: 8},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+	})
+
+	// --- Suites ---
+
+	// smoke: the check.sh gate — small fleets, no flight-recorder
+	// storms, fast enough to run under -race on every commit.
+	RegisterSuite("smoke", "reconnect-churn", "clock-skew", "shard-failover")
+	// ported: the four legacy ad-hoc campaigns.
+	RegisterSuite("ported", "pod-storm", "shard-failover", "reconnect-churn", "mixed-profiles")
+	// faults: every fault-schedule campaign.
+	RegisterSuite("faults", "pod-storm", "shard-failover", "broker-partition", "clock-skew", "quota-storm")
+	// all: everything registered.
+	RegisterSuite("all", "pod-storm", "shard-failover", "reconnect-churn", "mixed-profiles",
+		"broker-partition", "clock-skew", "quota-storm")
+}

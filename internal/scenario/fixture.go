@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/cheriot-go/cheriot/internal/fleet"
+	"github.com/cheriot-go/cheriot/internal/fleetcli"
+)
+
+// Fixture is a pre/post state check attached to a scenario. Check runs
+// on the finished fleet and returns nil when the invariant holds. A
+// fixture that also implements Prepare(*fleetcli.Options) error gets
+// to adjust the run options first (e.g. arming the flight recorder it
+// needs to observe allocations).
+type Fixture interface {
+	Name() string
+	Check(*fleet.Result) error
+}
+
+// CheckFunc adapts a function to the Fixture interface.
+type CheckFunc struct {
+	Label string
+	Fn    func(*fleet.Result) error
+}
+
+func (c CheckFunc) Name() string                  { return c.Label }
+func (c CheckFunc) Check(res *fleet.Result) error { return c.Fn(res) }
+
+// CycleSumExact asserts the telemetry invariant: per-compartment cycle
+// attribution sums exactly to each device's elapsed cycles, fleet-wide.
+// Faults must not leak cycles out of the accounting.
+type CycleSumExact struct{}
+
+func (CycleSumExact) Name() string { return "cycle-sum-exact" }
+
+func (CycleSumExact) Check(res *fleet.Result) error {
+	if !res.Summary.CycleSumExact {
+		return fmt.Errorf("per-compartment cycles do not sum to elapsed cycles")
+	}
+	return nil
+}
+
+// NoDeviceErrors asserts every device finished its run: no device
+// errors and no setup failures.
+type NoDeviceErrors struct{}
+
+func (NoDeviceErrors) Name() string { return "no-device-errors" }
+
+func (NoDeviceErrors) Check(res *fleet.Result) error {
+	s := res.Summary
+	if s.DeviceErrors > 0 || s.SetupFailures > 0 {
+		return fmt.Errorf("%d device errors, %d setup failures", s.DeviceErrors, s.SetupFailures)
+	}
+	return nil
+}
+
+// LeakFree is the flight-recorder leak check: after the run, no device
+// may hold more than MaxLive live heap allocations owned by the Owner
+// compartment. A quota storm that forgot a Free, or an app accreting
+// state per reconnect, trips it. Prepare arms the flight recorder when
+// the scenario didn't.
+type LeakFree struct {
+	Owner   string // allocating compartment, e.g. "fleetapp"
+	MaxLive int    // steady-state live allocations allowed per device
+}
+
+func (LeakFree) Name() string { return "leak-free" }
+
+func (f LeakFree) Prepare(o *fleetcli.Options) error {
+	if f.Owner == "" {
+		return fmt.Errorf("leak-free: empty owner compartment")
+	}
+	if o.FlightRec == 0 {
+		o.FlightRec = 256
+	}
+	return nil
+}
+
+func (f LeakFree) Check(res *fleet.Result) error {
+	for _, d := range res.Devices {
+		if d.Rec == nil {
+			return fmt.Errorf("device %d has no flight recorder", d.Index)
+		}
+		live := 0
+		for _, a := range d.Rec.LiveAllocations() {
+			if a.Owner == f.Owner {
+				live++
+			}
+		}
+		if live > f.MaxLive {
+			return fmt.Errorf("device %d: %d live allocations owned by %q (max %d)",
+				d.Index, live, f.Owner, f.MaxLive)
+		}
+	}
+	return nil
+}
+
+// FaultObserved asserts the scheduled fault actually fired: a fault
+// campaign whose fault silently never arms would otherwise pass its
+// SLOs vacuously.
+type FaultObserved struct {
+	// Fault selects the summary evidence to demand: "pod", "failover",
+	// "partition", "skew", or "quota-storm".
+	Fault string
+}
+
+func (f FaultObserved) Name() string { return "fault-observed:" + f.Fault }
+
+func (f FaultObserved) Check(res *fleet.Result) error {
+	s := res.Summary
+	switch f.Fault {
+	case "pod":
+		if s.CrashReports == 0 || s.Reboots == 0 {
+			return fmt.Errorf("no crash reports (%d) or micro-reboots (%d) recorded", s.CrashReports, s.Reboots)
+		}
+	case "failover":
+		if s.FailoverKicks == 0 {
+			return fmt.Errorf("no failover kicks recorded")
+		}
+	case "partition":
+		if s.Partition == nil || s.Partition.Devices == 0 {
+			return fmt.Errorf("no partitioned devices recorded")
+		}
+	case "skew":
+		if s.SkewedDevices == 0 {
+			return fmt.Errorf("no skewed devices recorded")
+		}
+	case "quota-storm":
+		if s.QuotaStormDenied == 0 {
+			return fmt.Errorf("no quota refusals recorded — the storm never hit the quota")
+		}
+		if s.QuotaStormPublishes == 0 {
+			return fmt.Errorf("no publishes under quota exhaustion — isolation evidence missing")
+		}
+	default:
+		return fmt.Errorf("unknown fault kind %q", f.Fault)
+	}
+	return nil
+}
+
+// Churned asserts reconnect churn actually reconnected devices.
+type Churned struct{}
+
+func (Churned) Name() string { return "churned" }
+
+func (Churned) Check(res *fleet.Result) error {
+	if res.Summary.Reconnects == 0 {
+		return fmt.Errorf("no reconnects recorded")
+	}
+	return nil
+}

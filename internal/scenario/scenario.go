@@ -1,0 +1,147 @@
+// Package scenario is the declarative campaign harness: a scenario
+// names a fleet shape (devices, shards, profiles), a fault schedule
+// (ping-of-death storms, shard failover, broker partitions, clock
+// skew, quota-exhaustion storms, reconnect churn), fixtures that check
+// pre/post state (telemetry cycle-sum invariant, flight-recorder leak
+// check), and pass criteria expressed as fleetobs SLO rules. Suites
+// compose scenarios; the runner executes a suite across a seed matrix
+// — sequentially or with a worker pool, both producing byte-identical
+// aggregated verdicts — and judges every scenario×seed cell.
+//
+// Scenarios build their fleet.Config through fleetcli.Options, the
+// exact code path behind the cheriot-fleet flags, so "this scenario is
+// the old -pod campaign" is a provable statement: parse the documented
+// flag line, compare configs, compare summaries (see the equivalence
+// tests).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cheriot-go/cheriot/internal/fleet"
+	"github.com/cheriot-go/cheriot/internal/fleetcli"
+)
+
+// Scenario is one declarative campaign: a fleet shape plus fault
+// schedule (Flags), SLO pass criteria, and state-check fixtures.
+type Scenario struct {
+	// Name is the registry key ("pod-storm", "broker-partition", ...).
+	Name string
+	// Summary is the one-line human description shown by `list`.
+	Summary string
+	// Flags declares the fleet shape and fault schedule in CLI terms —
+	// the same Options struct cheriot-fleet binds its flags to. The
+	// Seed and SLO fields are owned by the harness and must stay zero.
+	Flags fleetcli.Options
+	// SLO is the pass criteria over the run's health series, in
+	// fleetobs rule syntax ("availability>=0.9@28s;crashes<=0"). It
+	// implies observability, exactly like the -slo flag.
+	SLO string
+	// Fixtures are extra pre/post state checks judged alongside the
+	// SLO verdict.
+	Fixtures []Fixture
+	// Equivalent documents the cheriot-fleet invocation this scenario
+	// ports, as a flag string (without -seed). The equivalence tests
+	// parse it and prove config and summary identity; empty for
+	// scenarios that never existed as ad-hoc flag campaigns.
+	Equivalent string
+}
+
+// Config builds the scenario's fleet configuration for one seed,
+// through the shared fleetcli path, after fixtures had their chance to
+// adjust the options (e.g. LeakFree arming the flight recorder).
+func (s Scenario) Config(seed uint64) (fleet.Config, error) {
+	o := s.Flags
+	if o.Seed != 0 || o.SLO != "" {
+		return fleet.Config{}, fmt.Errorf("scenario %s: Flags.Seed/Flags.SLO are harness-owned; use the seed matrix and the SLO field", s.Name)
+	}
+	o.Seed = seed
+	o.SLO = s.SLO
+	for _, f := range s.Fixtures {
+		if p, ok := f.(interface{ Prepare(*fleetcli.Options) error }); ok {
+			if err := p.Prepare(&o); err != nil {
+				return fleet.Config{}, fmt.Errorf("scenario %s: fixture %s: %w", s.Name, f.Name(), err)
+			}
+		}
+	}
+	return o.Config()
+}
+
+var (
+	registry = map[string]Scenario{}
+	suites   = map[string][]string{}
+)
+
+// Register adds a scenario to the registry; duplicate names are a
+// programming error.
+func Register(s Scenario) {
+	if s.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic("scenario: duplicate scenario " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+// RegisterSuite names an ordered scenario composition. Every member
+// must already be registered.
+func RegisterSuite(name string, members ...string) {
+	if _, dup := suites[name]; dup {
+		panic("scenario: duplicate suite " + name)
+	}
+	if len(members) == 0 {
+		panic("scenario: empty suite " + name)
+	}
+	for _, m := range members {
+		if _, ok := registry[m]; !ok {
+			panic("scenario: suite " + name + " references unknown scenario " + m)
+		}
+	}
+	suites[name] = members
+}
+
+// Get returns a registered scenario.
+func Get(name string) (Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Suite resolves a suite name to its scenarios, in declaration order.
+func Suite(name string) ([]Scenario, bool) {
+	members, ok := suites[name]
+	if !ok {
+		return nil, false
+	}
+	out := make([]Scenario, len(members))
+	for i, m := range members {
+		out[i] = registry[m]
+	}
+	return out, true
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SuiteNames returns the registered suite names, sorted.
+func SuiteNames() []string {
+	out := make([]string, 0, len(suites))
+	for n := range suites {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SuiteMembers returns a suite's member names, in order.
+func SuiteMembers(name string) []string {
+	return append([]string(nil), suites[name]...)
+}

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cheriot-go/cheriot/internal/fleet"
+	"github.com/cheriot-go/cheriot/internal/fleetcli"
+	"github.com/cheriot-go/cheriot/internal/fleetobs"
+)
+
+// Every registered scenario must declare a coherent shape: members
+// resolve, SLO rules parse, and the config builds for an arbitrary
+// seed.
+func TestRegistrySanity(t *testing.T) {
+	if len(Names()) == 0 || len(SuiteNames()) == 0 {
+		t.Fatal("empty registry")
+	}
+	for _, name := range Names() {
+		sc, ok := Get(name)
+		if !ok {
+			t.Fatalf("Get(%q) failed for a listed name", name)
+		}
+		if sc.Summary == "" {
+			t.Errorf("scenario %s has no summary line", name)
+		}
+		if _, err := fleetobs.ParseRules(sc.SLO); err != nil {
+			t.Errorf("scenario %s: SLO rules do not parse: %v", name, err)
+		}
+		cfg, err := sc.Config(3)
+		if err != nil {
+			t.Errorf("scenario %s: config: %v", name, err)
+			continue
+		}
+		if cfg.Seed != 3 {
+			t.Errorf("scenario %s: seed %d, want 3", name, cfg.Seed)
+		}
+		if sc.SLO != "" && !cfg.Obs {
+			t.Errorf("scenario %s: SLO set but observability off", name)
+		}
+	}
+	for _, suite := range SuiteNames() {
+		scs, ok := Suite(suite)
+		if !ok || len(scs) == 0 {
+			t.Errorf("suite %s does not resolve", suite)
+		}
+	}
+	if _, ok := Suite("no-such-suite"); ok {
+		t.Error("unknown suite resolved")
+	}
+}
+
+// The LeakFree fixture arms the flight recorder it needs when the
+// scenario didn't ask for one.
+func TestLeakFreePreparesRecorder(t *testing.T) {
+	sc, ok := Get("quota-storm")
+	if !ok {
+		t.Fatal("quota-storm not registered")
+	}
+	if sc.Flags.FlightRec != 0 {
+		t.Fatal("quota-storm declares its own recorder; the Prepare path is untested")
+	}
+	cfg, err := sc.Config(1)
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	if cfg.FlightRecorder == 0 {
+		t.Error("LeakFree.Prepare did not arm the flight recorder")
+	}
+}
+
+// A scenario that sets the harness-owned fields is rejected, loudly.
+func TestHarnessOwnedFields(t *testing.T) {
+	sc := Scenario{Name: "bad", Flags: fleetcli.Default()} // Default() has Seed 1
+	if _, err := sc.Config(2); err == nil {
+		t.Error("Config accepted a scenario-declared seed")
+	}
+	o := fleetcli.Default()
+	o.Seed = 0
+	o.SLO = "crashes<=0"
+	sc = Scenario{Name: "bad2", Flags: o}
+	if _, err := sc.Config(2); err == nil {
+		t.Error("Config accepted a scenario-declared Flags.SLO")
+	}
+}
+
+// Every ported scenario is provably the old flag campaign: parsing its
+// documented cheriot-fleet invocation through fleetcli yields the
+// identical fleet.Config, and running both produces byte-identical
+// summaries.
+func TestPortedScenarioEquivalence(t *testing.T) {
+	const seed = 9
+	ported := 0
+	for _, name := range Names() {
+		sc, _ := Get(name)
+		if sc.Equivalent == "" {
+			continue
+		}
+		ported++
+		t.Run(name, func(t *testing.T) {
+			args := append(strings.Fields(sc.Equivalent), "-seed", fmt.Sprint(seed))
+			legacy, err := fleetcli.ParseArgs(args)
+			if err != nil {
+				t.Fatalf("parse documented invocation %q: %v", sc.Equivalent, err)
+			}
+			cfg, err := sc.Config(seed)
+			if err != nil {
+				t.Fatalf("scenario config: %v", err)
+			}
+			if !reflect.DeepEqual(legacy, cfg) {
+				t.Fatalf("configs differ:\nflags:    %+v\nscenario: %+v", legacy, cfg)
+			}
+			rFlags, err := fleet.Run(legacy)
+			if err != nil {
+				t.Fatalf("flag run: %v", err)
+			}
+			rScen, err := fleet.Run(cfg)
+			if err != nil {
+				t.Fatalf("scenario run: %v", err)
+			}
+			j1, err := json.Marshal(rFlags.Summary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j2, err := json.Marshal(rScen.Summary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1, j2) {
+				t.Errorf("summaries differ:\n--- flags ---\n%s\n--- scenario ---\n%s", j1, j2)
+			}
+		})
+	}
+	if ported < 4 {
+		t.Errorf("%d ported scenarios, want the 4 legacy campaigns", ported)
+	}
+}
+
+// tinyScenario is a fast ad-hoc scenario for runner tests: 2 devices,
+// just past the TLS handshake.
+func tinyScenario(name, slo string, fixtures ...Fixture) Scenario {
+	o := fleetcli.Default()
+	o.Seed = 0
+	o.Devices = 2
+	o.Lockstep = true
+	o.Duration = 13 * time.Second
+	o.Spread = 500 * time.Millisecond
+	o.PublishRate = 2
+	return Scenario{Name: name, Summary: "test scenario", Flags: o, SLO: slo, Fixtures: fixtures}
+}
+
+// The aggregated suite report is a pure function of (scenarios,
+// seeds): the sequential and worker-pool runners must emit
+// byte-identical JSON.
+func TestSeedMatrixDeterminism(t *testing.T) {
+	scs := []Scenario{
+		tinyScenario("t-a", "crashes<=0", CycleSumExact{}),
+		tinyScenario("t-b", "lost<=0", NoDeviceErrors{}),
+	}
+	seeds := []uint64{1, 2, 3}
+	seq := Run("matrix", scs, Options{Seeds: seeds, Workers: 1})
+	par := Run("matrix", scs, Options{Seeds: seeds, Workers: 4})
+	j1, err := json.MarshalIndent(seq, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.MarshalIndent(par, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("sequential and parallel suite reports differ:\n--- sequential ---\n%s\n--- parallel ---\n%s", j1, j2)
+	}
+	if !seq.Pass {
+		t.Error("trivial suite failed")
+	}
+	if total, failed := seq.Cells(); total != 6 || failed != 0 {
+		t.Errorf("cells = %d/%d failed, want 6/0", total, failed)
+	}
+}
+
+// A failing SLO rule or fixture fails its cell, its scenario, and the
+// suite — and the evidence is recorded in the verdict.
+func TestFailingVerdictPropagates(t *testing.T) {
+	failSLO := tinyScenario("t-badslo", "crashes>=1") // nothing crashes here
+	failFix := tinyScenario("t-badfix", "", CheckFunc{
+		Label: "always-fails",
+		Fn:    func(*fleet.Result) error { return fmt.Errorf("synthetic failure") },
+	})
+	good := tinyScenario("t-good", "crashes<=0")
+	rep := Run("mixed", []Scenario{failSLO, failFix, good}, Options{Seeds: []uint64{1}})
+	if rep.Pass {
+		t.Fatal("suite passed with failing cells")
+	}
+	if total, failed := rep.Cells(); total != 3 || failed != 2 {
+		t.Errorf("cells = %d total/%d failed, want 3/2", total, failed)
+	}
+	bySc := map[string]ScenarioReport{}
+	for _, sr := range rep.Scenarios {
+		bySc[sr.Scenario] = sr
+	}
+	if sv := bySc["t-badslo"].Seeds[0]; sv.Pass || sv.SLO == nil || sv.SLO.Pass {
+		t.Errorf("SLO failure not recorded: %+v", sv)
+	}
+	if sv := bySc["t-badfix"].Seeds[0]; sv.Pass || len(sv.Fixtures) != 1 ||
+		sv.Fixtures[0].OK || sv.Fixtures[0].Detail != "synthetic failure" {
+		t.Errorf("fixture failure not recorded: %+v", sv)
+	}
+	if sv := bySc["t-good"].Seeds[0]; !sv.Pass || sv.Summary == nil {
+		t.Errorf("good cell failed: %+v", sv)
+	}
+
+	// A config error is a failed cell too, not a panic.
+	broken := tinyScenario("t-broken", "")
+	broken.Flags.Seed = 5
+	rep = Run("broken", []Scenario{broken}, Options{Seeds: []uint64{1}})
+	if rep.Pass || rep.Scenarios[0].Seeds[0].Err == "" {
+		t.Errorf("config error not surfaced: %+v", rep.Scenarios[0].Seeds[0])
+	}
+}

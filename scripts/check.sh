@@ -49,6 +49,13 @@ go run ./cmd/cheriot-inspect fleet "$obsdir/summary.json" >/dev/null
 rm -rf "$obsdir"
 echo "ok"
 
+echo "== scenario campaign smoke suite (race) =="
+# The smoke suite (reconnect churn, clock skew, shard failover — small
+# fleets, 2 seeds) judged by SLO rules and fixtures; any failed
+# scenario×seed verdict exits non-zero and fails the check.
+go run -race ./cmd/cheriot-campaign run smoke -seeds 2 -par 4 >/dev/null
+echo "ok"
+
 echo "== forensics smoke run =="
 dumpdir=$(mktemp -d)
 go run ./cmd/cheriot-fleet -devices 4 -duration 16s -lockstep \
