@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check trace fleet fleet-shard fleetobs campaign inspect
+.PHONY: build test bench check trace fleet fleet-shard fleetobs campaign inspect prof
 
 build:
 	$(GO) build ./...
@@ -47,3 +47,13 @@ campaign:
 # its capability-provenance chain.
 inspect:
 	$(GO) run ./cmd/cheriot-inspect -demo
+
+# Cycle-exact compartment profile of the canonical lockstep workload:
+# writes prof.json, prints the hotspot table, and diffs against the
+# committed baseline (exit 3 on a >50% self-cycle regression).
+prof:
+	$(GO) run ./cmd/cheriot-fleet -devices 4 -lockstep -duration 12s -seed 1 \
+		-hostprof -prof -prof-out prof.json
+	$(GO) run ./cmd/cheriot-prof top prof.json
+	$(GO) run ./cmd/cheriot-prof diff -threshold 0.5 -min-cycles 1000000 \
+		scripts/prof-baseline.json prof.json

@@ -50,7 +50,7 @@ func cli(args []string, stdout, stderr io.Writer) int {
 func usage(stderr io.Writer) int {
 	fmt.Fprintf(stderr, `usage:
   cheriot-campaign list
-  cheriot-campaign run <suite|scenario> [-seeds N] [-seed BASE] [-par N] [-json] [-quiet]
+  cheriot-campaign run <suite|scenario> [-seeds N] [-seed BASE] [-par N] [-json] [-quiet] [-hostprof]
 `)
 	return 2
 }
@@ -79,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	par := fs.Int("par", 1, "worker-pool width across scenario×seed cells (1: sequential)")
 	jsonOut := fs.Bool("json", false, "print the deterministic suite report as JSON on stdout")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
+	hostProf := fs.Bool("hostprof", false, "record each cell's host wall-clock phase split (boot/step/pump/merge) in the report")
 
 	// Accept both `run smoke -seeds 2` and `run -seeds 2 smoke`.
 	var target string
@@ -114,7 +115,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range seeds {
 		seeds[i] = *seedBase + uint64(i)
 	}
-	opt := scenario.Options{Seeds: seeds, Workers: *par}
+	opt := scenario.Options{Seeds: seeds, Workers: *par, HostProf: *hostProf}
 	if !*quiet {
 		opt.Stderr = stderr
 	}

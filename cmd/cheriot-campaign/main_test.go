@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -57,6 +58,34 @@ func TestCLIExitCodes(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), `"pass": false`) {
 		t.Errorf("JSON report does not record the failure:\n%s", out.String())
+	}
+}
+
+// -hostprof records each cell's host wall-clock phase split in the
+// JSON report; without it the report stays host-free.
+func TestCLIHostProf(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := cli([]string{"run", "test-always-fails", "-quiet", "-json", "-hostprof"}, &out, &errw); code != 3 {
+		t.Fatalf("run exited %d, want 3", code)
+	}
+	var rep scenario.SuiteReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	sv := rep.Scenarios[0].Seeds[0]
+	if sv.Host == nil {
+		t.Fatal("-hostprof did not record a host phase split")
+	}
+	if sv.Host.Phase("step").WallSec <= 0 {
+		t.Errorf("host split has no step phase: %+v", sv.Host.Phases)
+	}
+
+	out.Reset()
+	if code := cli([]string{"run", "test-always-fails", "-quiet", "-json"}, &out, &errw); code != 3 {
+		t.Fatalf("run exited %d, want 3", code)
+	}
+	if strings.Contains(out.String(), `"host"`) {
+		t.Error("host split present without -hostprof")
 	}
 }
 

@@ -14,6 +14,8 @@
 //	cheriot-fleet -devices 8 -quota-storm 14s            # quota exhaustion
 //	cheriot-fleet -devices 16 -obs -obs-trace trace.json        # message tracing
 //	cheriot-fleet -devices 16 -obs -slo 'delivery>=0.99;p99<=5ms'
+//	cheriot-fleet -devices 16 -prof -prof-out prof.json  # cycle profiler
+//	cheriot-fleet -devices 64 -hostprof                  # host phase split
 //
 // Durations are simulated time (33 MHz device clocks). The JSON summary on
 // stdout is deterministic for a given config+seed; wall-clock timings go
@@ -54,6 +56,7 @@ func main() {
 	dumpDir := flag.String("dump-dir", "", "write each crashed device's flight-recorder dump to this directory")
 	obsTrace := flag.String("obs-trace", "", "write the merged spans as a Chrome trace to this file")
 	obsHealth := flag.String("obs-health", "", "write the per-second health series as JSON to this file")
+	profOut := flag.String("prof-out", "", "write the merged cycle profile as JSON to this file (needs -prof; inspect with cheriot-prof)")
 	flag.Parse()
 
 	cfg, err := opts.Config()
@@ -66,6 +69,9 @@ func main() {
 	if (*obsTrace != "" || *obsHealth != "") && !cfg.Obs {
 		log.Fatal("fleet: -obs-trace/-obs-health need -obs")
 	}
+	if *profOut != "" && !cfg.Prof {
+		log.Fatal("fleet: -prof-out needs -prof")
+	}
 	res, err := fleet.Run(cfg)
 	if err != nil {
 		log.Fatalf("fleet: %v", err)
@@ -75,6 +81,25 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wall clock: boot %.2fs, run %.2fs (%d devices / %d workers / %d cloud shards, %.0fx real time)\n",
 		res.BootWall.Seconds(), res.RunWall.Seconds(), s.Devices, s.Shards, s.CloudShards,
 		s.SimSeconds*float64(s.Devices)/res.RunWall.Seconds())
+	if hp := res.HostProf; hp != nil {
+		fmt.Fprintf(os.Stderr, "host phases (%d workers):\n", hp.Workers)
+		if err := hp.WriteTable(os.Stderr); err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+	}
+
+	if *profOut != "" && s.Profile != nil {
+		f, err := os.Create(*profOut)
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		if err := s.Profile.WriteJSON(f); err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %d profile frames to %s (inspect with cheriot-prof)\n",
+			len(s.Profile.Frames), *profOut)
+	}
 
 	if *dumpDir != "" {
 		if err := os.MkdirAll(*dumpDir, 0o755); err != nil {
@@ -208,6 +233,13 @@ func main() {
 				}
 				fmt.Printf("  %s %-28s actual %g\n", mark, r.Rule, r.Actual)
 			}
+		}
+	}
+	if p := s.Profile; p != nil {
+		fmt.Printf("profile: %d frames, %d cycles attributed — hottest stacks:\n",
+			len(p.Frames), p.TotalCycles)
+		if err := p.WriteTop(os.Stdout, 10); err != nil {
+			log.Fatal(err)
 		}
 	}
 	fmt.Printf("capability faults: %d   cycle attribution exact: %v\n",

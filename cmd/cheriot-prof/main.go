@@ -1,0 +1,139 @@
+// cheriot-prof inspects the cycle-exact compartment profiles emitted by
+// cheriot-fleet -prof -prof-out (and by fleet.Summary.Profile in JSON
+// summaries): folded cross-compartment call stacks with every simulated
+// cycle attributed to exactly one frame.
+//
+// Usage:
+//
+//	cheriot-prof top prof.json                 # hotspot table (default 10)
+//	cheriot-prof top -n 25 prof.json
+//	cheriot-prof folded prof.json > out.folded # flamegraph.pl / inferno input
+//	cheriot-prof chrome prof.json > trace.json # chrome://tracing / Perfetto
+//	cheriot-prof diff old.json new.json        # regression gate
+//	cheriot-prof diff -threshold 0.2 -min-cycles 1000000 old.json new.json
+//
+// diff exits 3 when any frame's self-cycles grew past the threshold (and
+// the minimum cycle floor), which is what makes it a CI gate: profile a
+// canonical workload, commit the baseline, and diff every change against
+// it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/cheriot-go/cheriot/internal/prof"
+)
+
+func main() {
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cli is the whole program behind the exit code; tests drive it
+// directly to assert the regression-to-exit-code contract.
+func cli(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		return usage(stderr)
+	}
+	switch args[0] {
+	case "top":
+		return top(args[1:], stdout, stderr)
+	case "folded":
+		return export(args[1:], stdout, stderr, (*prof.Profile).WriteFolded)
+	case "chrome":
+		return export(args[1:], stdout, stderr, (*prof.Profile).WriteChromeTrace)
+	case "diff":
+		return diff(args[1:], stdout, stderr)
+	default:
+		return usage(stderr)
+	}
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintf(stderr, `usage:
+  cheriot-prof top [-n N] <profile.json>
+  cheriot-prof folded <profile.json>
+  cheriot-prof chrome <profile.json>
+  cheriot-prof diff [-threshold F] [-min-cycles N] <old.json> <new.json>
+`)
+	return 2
+}
+
+// load reads one profile or reports the failure.
+func load(path string, stderr io.Writer) (*prof.Profile, bool) {
+	p, err := prof.ReadProfileFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "prof: %v\n", err)
+		return nil, false
+	}
+	return p, true
+}
+
+func top(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 10, "number of frames to show")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 1 {
+		return usage(stderr)
+	}
+	p, ok := load(fs.Arg(0), stderr)
+	if !ok {
+		return 1
+	}
+	if err := p.WriteTop(stdout, *n); err != nil {
+		fmt.Fprintf(stderr, "prof: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func export(args []string, stdout, stderr io.Writer, write func(*prof.Profile, io.Writer) error) int {
+	if len(args) != 1 {
+		return usage(stderr)
+	}
+	p, ok := load(args[0], stderr)
+	if !ok {
+		return 1
+	}
+	if err := write(p, stdout); err != nil {
+		fmt.Fprintf(stderr, "prof: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func diff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.10, "per-frame growth tolerance (0.10 = +10%)")
+	minCycles := fs.Uint64("min-cycles", 100_000, "ignore frames below this many self-cycles")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 2 {
+		return usage(stderr)
+	}
+	oldP, ok := load(fs.Arg(0), stderr)
+	if !ok {
+		return 1
+	}
+	newP, ok := load(fs.Arg(1), stderr)
+	if !ok {
+		return 1
+	}
+	regs := prof.Diff(oldP, newP, *threshold, *minCycles)
+	fmt.Fprintf(stdout, "old: %d cycles in %d frames; new: %d cycles in %d frames (threshold +%.0f%%, floor %d cycles)\n",
+		oldP.TotalCycles, len(oldP.Frames), newP.TotalCycles, len(newP.Frames),
+		*threshold*100, *minCycles)
+	if len(regs) == 0 {
+		fmt.Fprintln(stdout, "no frame regressions")
+		return 0
+	}
+	for _, r := range regs {
+		ratio := "new"
+		if r.Old > 0 {
+			ratio = fmt.Sprintf("%.2fx", r.Ratio)
+		}
+		fmt.Fprintf(stdout, "REGRESSION %-6s %12d -> %12d  %s\n", ratio, r.Old, r.New, r.Stack)
+	}
+	return 3
+}

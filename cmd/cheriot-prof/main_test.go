@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/cheriot-go/cheriot/internal/prof"
+)
+
+// writeProfile marshals a profile to a temp file and returns its path.
+func writeProfile(t *testing.T, name string, p *prof.Profile) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := p.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleProfile() *prof.Profile {
+	return &prof.Profile{
+		Hz: 33_000_000, TotalCycles: 1_300_000,
+		Frames: []prof.Frame{
+			{Stack: "app;mqtt.connect", Self: 1_000_000, Calls: 2},
+			{Stack: "app;mqtt.connect;tls.handshake", Self: 300_000, Calls: 2},
+		},
+	}
+}
+
+// TestCLISubcommands drives top/folded/chrome against a real file.
+func TestCLISubcommands(t *testing.T) {
+	path := writeProfile(t, "p.json", sampleProfile())
+
+	var out, errb bytes.Buffer
+	if code := cli([]string{"top", "-n", "5", path}, &out, &errb); code != 0 {
+		t.Fatalf("top exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "mqtt.connect") {
+		t.Errorf("top output missing frames:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := cli([]string{"folded", path}, &out, &errb); code != 0 {
+		t.Fatalf("folded exit %d: %s", code, errb.String())
+	}
+	if want := "app;mqtt.connect 1000000\napp;mqtt.connect;tls.handshake 300000\n"; out.String() != want {
+		t.Errorf("folded = %q, want %q", out.String(), want)
+	}
+
+	out.Reset()
+	if code := cli([]string{"chrome", path}, &out, &errb); code != 0 {
+		t.Fatalf("chrome exit %d: %s", code, errb.String())
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) != 6 {
+		t.Errorf("chrome trace has %d events, want 6 (3 frames x B/E)", len(trace.TraceEvents))
+	}
+}
+
+// TestCLIDiffGate: identical profiles exit 0; a regression past the
+// threshold exits 3 — the CI-gate contract.
+func TestCLIDiffGate(t *testing.T) {
+	base := sampleProfile()
+	old := writeProfile(t, "old.json", base)
+
+	var out, errb bytes.Buffer
+	if code := cli([]string{"diff", old, old}, &out, &errb); code != 0 {
+		t.Fatalf("self-diff exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no frame regressions") {
+		t.Errorf("self-diff output: %s", out.String())
+	}
+
+	worse := sampleProfile()
+	worse.Frames[0].Self *= 2
+	newer := writeProfile(t, "new.json", worse)
+	out.Reset()
+	if code := cli([]string{"diff", "-threshold", "0.5", "-min-cycles", "1000", old, newer}, &out, &errb); code != 3 {
+		t.Fatalf("regressed diff exit %d, want 3: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "2.00x") {
+		t.Errorf("diff output: %s", out.String())
+	}
+	// Loose threshold tolerates the same growth.
+	out.Reset()
+	if code := cli([]string{"diff", "-threshold", "1.5", old, newer}, &out, &errb); code != 0 {
+		t.Fatalf("tolerant diff exit %d: %s", code, errb.String())
+	}
+}
+
+// TestCLIErrors: bad usage exits 2, unreadable files exit 1.
+func TestCLIErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := cli(nil, &out, &errb); code != 2 {
+		t.Errorf("no args exit %d, want 2", code)
+	}
+	if code := cli([]string{"bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown subcommand exit %d, want 2", code)
+	}
+	if code := cli([]string{"top", "/nonexistent.json"}, &out, &errb); code != 1 {
+		t.Errorf("missing file exit %d, want 1", code)
+	}
+	if code := cli([]string{"diff", "/a.json"}, &out, &errb); code != 2 {
+		t.Errorf("diff with one file exit %d, want 2", code)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/loader"
+	"github.com/cheriot-go/cheriot/internal/prof"
 	"github.com/cheriot-go/cheriot/internal/sched"
 	"github.com/cheriot-go/cheriot/internal/switcher"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
@@ -106,6 +107,22 @@ func (s *System) EnableTelemetry(traceCapacity int) *telemetry.Registry {
 
 // Telemetry returns the registry installed by EnableTelemetry, or nil.
 func (s *System) Telemetry() *telemetry.Registry { return s.Kernel.Telemetry() }
+
+// EnableProfiler arms the cycle-exact compartment profiler: the switcher
+// reconstructs cross-compartment call stacks and attributes every
+// simulated cycle from this call onward to exactly one stack frame.
+// Enable it at the same instant as telemetry (no intervening ticks) and
+// the profile total equals the registry's attributed cycles. It returns
+// the profiler.
+func (s *System) EnableProfiler() *prof.Profiler {
+	clock := s.Board.Core.Clock
+	p := prof.New(clock.Hz(), clock.Cycles)
+	s.Kernel.EnableProfiler(p)
+	return p
+}
+
+// Profiler returns the profiler installed by EnableProfiler, or nil.
+func (s *System) Profiler() *prof.Profiler { return s.Kernel.Profiler() }
 
 // EnableFlightRecorder attaches a flight recorder with an event ring of
 // the given capacity: the always-on black box recording capability

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/cheriot-go/cheriot/internal/alloc"
 	"github.com/cheriot-go/cheriot/internal/api"
@@ -15,6 +16,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/netproto"
 	"github.com/cheriot-go/cheriot/internal/netsim"
 	"github.com/cheriot-go/cheriot/internal/netstack"
+	"github.com/cheriot-go/cheriot/internal/prof"
 	"github.com/cheriot-go/cheriot/internal/sched"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
@@ -87,6 +89,8 @@ type Device struct {
 	Sys   *core.System
 	World *netsim.World
 	Tel   *telemetry.Registry
+	// Prof is the device's cycle-exact profiler (nil unless Config.Prof).
+	Prof *prof.Profiler
 	// Rec is the device's flight recorder (nil when disabled); Stack
 	// exposes the netstack's micro-reboot driver.
 	Rec   *flightrec.Recorder
@@ -108,6 +112,13 @@ type Device struct {
 	cfg     *Config
 	rng     *rng
 	arrival uint64 // cycles to wait before starting setup
+
+	// Host-profiling pump sampling (Config.HostProf): timing every inbox
+	// pump would distort the very cost it measures, so runSlice times one
+	// in 64 and the runner scales the sample up.
+	pumpCount   uint64
+	pumpSampled uint64
+	pumpWall    time.Duration
 }
 
 // deviceIP maps a device index into 10.4.0.0/16, disjoint from the cloud
@@ -190,6 +201,11 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 	}
 
 	d.Tel = sys.EnableTelemetry(cfg.TraceCapacity)
+	if cfg.Prof {
+		// Armed at the same instant as telemetry (no intervening ticks),
+		// so the profile total equals the telemetry attributed cycles.
+		d.Prof = sys.EnableProfiler()
+	}
 	if cfg.FlightRecorder > 0 {
 		d.Rec = sys.EnableFlightRecorder(cfg.FlightRecorder)
 	}
@@ -243,10 +259,33 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 // cloud from other goroutines enter this device's event queue at the
 // next dispatch boundary.
 func (d *Device) runSlice(toCycle uint64) error {
+	if d.cfg.HostProf {
+		return d.Sys.Run(func() bool {
+			d.pumpCount++
+			if d.pumpCount&63 == 1 {
+				t0 := time.Now()
+				d.World.PumpInbox()
+				d.pumpWall += time.Since(t0)
+				d.pumpSampled++
+			} else {
+				d.World.PumpInbox()
+			}
+			return d.Sys.Cycles() >= toCycle
+		})
+	}
 	return d.Sys.Run(func() bool {
 		d.World.PumpInbox()
 		return d.Sys.Cycles() >= toCycle
 	})
+}
+
+// pumpEstimate scales the sampled pump time up to the device's full pump
+// count.
+func (d *Device) pumpEstimate() time.Duration {
+	if d.pumpSampled == 0 {
+		return 0
+	}
+	return time.Duration(uint64(d.pumpWall) / d.pumpSampled * d.pumpCount)
 }
 
 // addApp registers the load-generating application compartment: after an

@@ -42,6 +42,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/cloud"
 	"github.com/cheriot-go/cheriot/internal/fleetobs"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/prof"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
@@ -159,6 +160,18 @@ type Config struct {
 	// SLO is a ';'-separated declarative rule list (see fleetobs.Rule),
 	// evaluated against the health series into Summary.Obs.SLO.
 	SLO string
+
+	// Prof arms the cycle-exact compartment profiler on every device: the
+	// switcher reconstructs cross-compartment call stacks and attributes
+	// every simulated cycle to exactly one frame. The per-device profiles
+	// merge deterministically into Summary.Profile (lockstep and parallel
+	// runs are byte-identical). Off, the hot path pays one nil check.
+	Prof bool
+	// HostProf times the runner's real wall-clock cost centers — device
+	// boot, the step loop, netsim inbox pumping, the merge/report phase —
+	// into Result.HostProf. Host-dependent by nature, it never touches
+	// the deterministic Summary.
+	HostProf bool
 
 	// legacyCloud selects the pre-sharding single-broker cloud; a
 	// package-internal hook for the 1-shard equivalence test.
@@ -499,6 +512,14 @@ type Summary struct {
 	// SLO verdict. Nil unless Config.Obs. Fully deterministic.
 	Obs *fleetobs.Report `json:"obs,omitempty"`
 
+	// Profile is the fleet-merged cycle profile (nil unless Config.Prof):
+	// per-device folded call stacks with exact cycle attribution, summed
+	// frame-by-frame across devices. Deterministic — lockstep and parallel
+	// runs of the same config+seed produce byte-identical profiles — so
+	// it lives in the Summary, and the per-frame invariant (SelfSum ==
+	// TotalCycles == Σ per-device clock deltas) folds into CycleSumExact.
+	Profile *prof.Profile `json:"profile,omitempty"`
+
 	// Telemetry is the fleet-merged snapshot (per-compartment cycle
 	// totals summed across devices, counters, histograms).
 	Telemetry telemetry.Snapshot `json:"telemetry"`
@@ -537,6 +558,11 @@ type Result struct {
 	// the fleet. It depends on host scheduling (worker count, timing),
 	// which is why it lives here and not in the Summary.
 	MaxInboxDepth int
+	// HostProf is the host-side wall-clock phase split — boot, step,
+	// pump, merge — per worker (nil unless Config.HostProf). Like the
+	// wall timings above it is host-dependent, so it stays out of the
+	// Summary.
+	HostProf *prof.HostProfile
 }
 
 // Run builds and runs a fleet per cfg.
@@ -573,12 +599,19 @@ func Run(cfg Config) (*Result, error) {
 		s := i % cfg.Shards
 		shardIndices[s] = append(shardIndices[s], i)
 	}
+	// hp stays nil unless HostProf; every Add on it is nil-safe.
+	var hp *prof.HostProfile
+	if cfg.HostProf {
+		hp = prof.NewHostProfile(cfg.Shards)
+	}
 	bootStart := time.Now()
 	var wg sync.WaitGroup
 	for s := 0; s < cfg.Shards; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			t0 := time.Now()
+			built := 0
 			for _, i := range shardIndices[s] {
 				d, err := buildDevice(&cfg, cl, schedule, i)
 				if err != nil {
@@ -586,7 +619,9 @@ func Run(cfg Config) (*Result, error) {
 					return
 				}
 				devices[i] = d
+				built++
 			}
+			hp.Add("boot", time.Since(t0), uint64(built))
 		}(s)
 	}
 	wg.Wait()
@@ -602,7 +637,20 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			t0 := time.Now()
 			runShard(devices, shardIndices[s], horizon)
+			if hp != nil {
+				// The pump estimate is part of the step wall, broken out so
+				// the split shows where the step loop's time goes.
+				var pump time.Duration
+				var pumps uint64
+				for _, i := range shardIndices[s] {
+					pump += devices[i].pumpEstimate()
+					pumps += devices[i].pumpCount
+				}
+				hp.Add("step", time.Since(t0), 1)
+				hp.Add("pump", pump, pumps)
+			}
 		}(s)
 	}
 	wg.Wait()
@@ -615,6 +663,7 @@ func Run(cfg Config) (*Result, error) {
 	// dropping idle-beyond-TTL state is a pure function of the run.
 	cl.reapDead(horizon)
 
+	mergeStart := time.Now()
 	spans := collectSpans(devices)
 	res := &Result{
 		Summary:  summarize(cfg, cl, devices, sloRules, spans),
@@ -623,6 +672,9 @@ func Run(cfg Config) (*Result, error) {
 		RunWall:  runWall,
 		Spans:    spans,
 	}
+	hp.Add("merge", time.Since(mergeStart), 1)
+	hp.Finish()
+	res.HostProf = hp
 	for _, d := range devices {
 		if depth := d.Obs.MaxInboxDepth(); depth > res.MaxInboxDepth {
 			res.MaxInboxDepth = depth
@@ -690,6 +742,7 @@ func summarize(cfg Config, cl *Cloud, devices []*Device,
 
 	var connectLat, publishLat []uint64
 	snaps := make([]telemetry.Snapshot, 0, len(devices)+1)
+	var deviceProfiles []*prof.Profile
 	exact := true
 	seconds := int(s.SimSeconds + 0.5)
 	availability := make([]int, seconds)
@@ -741,6 +794,18 @@ func summarize(cfg Config, cl *Cloud, devices []*Device,
 			exact = false
 		}
 		snaps = append(snaps, snap)
+
+		if cfg.Prof {
+			// Snapshot in index order; Merge sorts frames, so the merged
+			// profile is identical whatever partition ran the devices. The
+			// per-device exactness check folds into CycleSumExact.
+			pp := d.Prof.Snapshot()
+			if pp == nil || pp.BaseCycles+pp.TotalCycles != d.Sys.Cycles() ||
+				pp.SelfSum() != pp.TotalCycles {
+				exact = false
+			}
+			deviceProfiles = append(deviceProfiles, pp)
+		}
 
 		s.FramesFromDevices += d.World.FramesFromDevice
 		s.FramesToDevices += d.World.FramesToDevice
@@ -857,6 +922,12 @@ func summarize(cfg Config, cl *Cloud, devices []*Device,
 	var compSum uint64
 	for _, a := range s.Telemetry.Compartments {
 		compSum += a.Cycles
+	}
+	if cfg.Prof {
+		s.Profile = prof.Merge(deviceProfiles...)
+		if s.Profile.SelfSum() != s.Profile.TotalCycles {
+			exact = false
+		}
 	}
 	s.CycleSumExact = exact && compSum == s.Telemetry.AttributedCycles
 	s.CapabilityFaults = counterSum(s.Telemetry.Counters, telemetry.DomainSwitcher, "traps")

@@ -48,6 +48,8 @@ type Options struct {
 	ObsSample    float64       // -obs-sample
 	ObsSpans     int           // -obs-spans
 	SLO          string        // -slo (implies -obs)
+	Prof         bool          // -prof: cycle-exact compartment profiler
+	HostProf     bool          // -hostprof: host wall-clock phase split
 }
 
 // Default returns the cheriot-fleet flag defaults.
@@ -98,6 +100,8 @@ func (o *Options) Register(fs *flag.FlagSet) {
 	fs.Float64Var(&o.ObsSample, "obs-sample", o.ObsSample, "publish trace sampling probability (0: trace everything; negative: armed but silent)")
 	fs.IntVar(&o.ObsSpans, "obs-spans", o.ObsSpans, "per-device span buffer capacity (0: default 4096)")
 	fs.StringVar(&o.SLO, "slo", o.SLO, "SLO rules over the health series, e.g. 'delivery>=0.99;p99<=5ms;availability>=0.9@12s' (implies -obs)")
+	fs.BoolVar(&o.Prof, "prof", o.Prof, "cycle-exact compartment profiler (folded call stacks in the summary)")
+	fs.BoolVar(&o.HostProf, "hostprof", o.HostProf, "time the runner's host wall-clock phases (boot/step/pump/merge)")
 }
 
 // Config builds the fleet configuration, parsing the profile spec and
@@ -138,6 +142,8 @@ func (o Options) Config() (fleet.Config, error) {
 		ObsSample:      o.ObsSample,
 		ObsSpanCap:     o.ObsSpans,
 		SLO:            o.SLO,
+		Prof:           o.Prof,
+		HostProf:       o.HostProf,
 	}, nil
 }
 

@@ -1,0 +1,107 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HostPhase is one wall-clock cost center of the fleet runner,
+// aggregated across workers: WallSec sums every worker's time in the
+// phase (CPU-seconds of the phase), MaxSec is the slowest single
+// worker (the critical path), Calls counts phase entries.
+type HostPhase struct {
+	Name    string  `json:"name"`
+	WallSec float64 `json:"wall_sec"`
+	MaxSec  float64 `json:"max_sec"`
+	Calls   uint64  `json:"calls"`
+}
+
+// HostProfile aggregates host-side phase timings. Unlike Profile it is
+// wall-clock data — host-dependent by nature — so it lives in the fleet
+// Result, outside the deterministic Summary surface.
+type HostProfile struct {
+	Workers int         `json:"workers"`
+	Phases  []HostPhase `json:"phases"`
+
+	mu sync.Mutex
+	by map[string]int
+}
+
+// NewHostProfile returns an empty host profile for a worker-pool width.
+func NewHostProfile(workers int) *HostProfile {
+	return &HostProfile{Workers: workers, by: map[string]int{}}
+}
+
+// Add accumulates one worker's time in a phase. Safe for concurrent
+// use; nil-safe.
+func (h *HostProfile) Add(name string, wall time.Duration, calls uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.by == nil {
+		h.by = map[string]int{}
+	}
+	i, ok := h.by[name]
+	if !ok {
+		i = len(h.Phases)
+		h.by[name] = i
+		h.Phases = append(h.Phases, HostPhase{Name: name})
+	}
+	p := &h.Phases[i]
+	sec := wall.Seconds()
+	p.WallSec += sec
+	if sec > p.MaxSec {
+		p.MaxSec = sec
+	}
+	p.Calls += calls
+}
+
+// Finish sorts the phases by name for stable output. Call it once all
+// workers have joined.
+func (h *HostProfile) Finish() {
+	if h == nil {
+		return
+	}
+	sort.Slice(h.Phases, func(i, j int) bool { return h.Phases[i].Name < h.Phases[j].Name })
+	h.by = nil
+}
+
+// Phase returns the named phase (zero value when absent).
+func (h *HostProfile) Phase(name string) HostPhase {
+	if h == nil {
+		return HostPhase{}
+	}
+	for _, p := range h.Phases {
+		if p.Name == name {
+			return p
+		}
+	}
+	return HostPhase{}
+}
+
+// WriteTable renders the phase split.
+func (h *HostProfile) WriteTable(w io.Writer) error {
+	var total float64
+	for _, p := range h.Phases {
+		total += p.WallSec
+	}
+	if total == 0 {
+		total = 1
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %10s %7s %10s %10s\n",
+		"phase", "wall-sec", "share", "max-sec", "calls"); err != nil {
+		return err
+	}
+	for _, p := range h.Phases {
+		if _, err := fmt.Fprintf(w, "%-10s %10.3f %6.1f%% %10.3f %10d\n",
+			p.Name, p.WallSec, 100*p.WallSec/total, p.MaxSec, p.Calls); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the profiler deterministically in tests.
+type fakeClock struct{ c uint64 }
+
+func (f *fakeClock) now() uint64   { return f.c }
+func (f *fakeClock) tick(n uint64) { f.c += n }
+func newProf(f *fakeClock) *Profiler {
+	return New(33_000_000, f.now)
+}
+
+// The exactness invariant: every cycle between New and Snapshot lands
+// in exactly one frame, whatever the transition sequence.
+func TestSumToClockInvariant(t *testing.T) {
+	clk := &fakeClock{c: 1000}
+	p := newProf(clk)
+	p.RegisterThread(1, "app")
+	p.System(DomainSwitcher)
+	clk.tick(10) // switcher
+	p.Push(1, DomainSwitcher)
+	clk.tick(5) // call overlay
+	p.Pop(1)
+	p.Push(1, "comp.a")
+	clk.tick(100) // in a
+	p.Push(1, DomainSwitcher)
+	clk.tick(7) // nested call overlay
+	p.Pop(1)
+	p.Push(1, "comp.b")
+	clk.tick(50) // in b
+	p.Pop(1)
+	p.Push(1, DomainSwitcher)
+	clk.tick(3) // return zeroing
+	p.Pop(1)
+	clk.tick(25) // back in a
+	p.Pop(1)
+	p.System(DomainIdle)
+	clk.tick(40) // idle
+
+	pr := p.Snapshot()
+	if pr.BaseCycles != 1000 {
+		t.Errorf("base = %d, want 1000", pr.BaseCycles)
+	}
+	if want := uint64(10 + 5 + 100 + 7 + 50 + 3 + 25 + 40); pr.TotalCycles != want {
+		t.Errorf("total = %d, want %d", pr.TotalCycles, want)
+	}
+	if pr.SelfSum() != pr.TotalCycles {
+		t.Errorf("frame self sum %d != total %d", pr.SelfSum(), pr.TotalCycles)
+	}
+
+	self := map[string]uint64{}
+	calls := map[string]uint64{}
+	for _, f := range pr.Frames {
+		self[f.Stack] = f.Self
+		calls[f.Stack] = f.Calls
+	}
+	for stack, want := range map[string]uint64{
+		"app;comp.a":                   125,
+		"app;comp.a;comp.b":            50,
+		"app;comp.a;" + DomainSwitcher: 10, // nested overlay + return zeroing
+		"app;" + DomainSwitcher:        5,
+		DomainSwitcher:                 10,
+		DomainIdle:                     40,
+	} {
+		if self[stack] != want {
+			t.Errorf("self[%q] = %d, want %d", stack, self[stack], want)
+		}
+	}
+	if calls["app;comp.a;comp.b"] != 1 || calls["app;comp.a"] != 1 {
+		t.Errorf("call counts wrong: %v", calls)
+	}
+}
+
+// PopTo repairs a stack after a trap panic escaped mid-transition,
+// attributing the in-flight cycles to the abandoned frame first.
+func TestPopToTruncates(t *testing.T) {
+	clk := &fakeClock{}
+	p := newProf(clk)
+	p.RegisterThread(1, "app")
+	p.Push(1, "comp.a")
+	depth := p.Depth(1) // 2: root + a
+	clk.tick(10)
+	// Nested call gets as far as the switcher overlay and a callee frame,
+	// then the callee's zeroing faults and the panic escapes.
+	p.Push(1, DomainSwitcher)
+	clk.tick(4)
+	p.Push(1, "comp.b")
+	clk.tick(6)
+	p.PopTo(1, depth)
+	clk.tick(20)
+	p.Pop(1)
+
+	pr := p.Snapshot()
+	if pr.SelfSum() != pr.TotalCycles {
+		t.Fatalf("sum %d != total %d after PopTo", pr.SelfSum(), pr.TotalCycles)
+	}
+	self := map[string]uint64{}
+	for _, f := range pr.Frames {
+		self[f.Stack] = f.Self
+	}
+	if self["app;comp.a"] != 30 {
+		t.Errorf("comp.a self = %d, want 30", self["app;comp.a"])
+	}
+	if self["app;comp.a;"+DomainSwitcher+";comp.b"] != 6 {
+		t.Errorf("abandoned callee self = %d, want 6", self["app;comp.a;"+DomainSwitcher+";comp.b"])
+	}
+	if p.Depth(1) != 1 {
+		t.Errorf("depth = %d, want 1 (thread root)", p.Depth(1))
+	}
+	// PopTo to a depth >= current is a no-op.
+	p.PopTo(1, 99)
+	p.PopTo(1, 0)
+	if p.Depth(1) != 1 {
+		t.Errorf("PopTo moved a short stack: depth %d", p.Depth(1))
+	}
+}
+
+// Every hook is nil-safe and allocation-free on the nil receiver: the
+// zero-cost-when-off contract for the switcher's hot path.
+func TestNilProfilerZeroAlloc(t *testing.T) {
+	var p *Profiler
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Push(1, "x")
+		p.Pop(1)
+		p.PopTo(1, 0)
+		p.Activate(1)
+		p.System(DomainSwitcher)
+		p.RegisterThread(1, "t")
+		_ = p.Depth(1)
+		_ = p.Snapshot()
+		_ = p.Hz()
+	})
+	if allocs != 0 {
+		t.Errorf("nil profiler allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// Merge sums frames and is order-independent — the lockstep ≡ parallel
+// byte-identity root.
+func TestMergeDeterministic(t *testing.T) {
+	mk := func(seed uint64) *Profile {
+		clk := &fakeClock{c: seed}
+		p := newProf(clk)
+		p.RegisterThread(1, "app")
+		p.Push(1, "comp.a")
+		clk.tick(10 * (seed + 1))
+		p.Push(1, "comp.b")
+		clk.tick(seed)
+		p.Pop(1)
+		p.Pop(1)
+		return p.Snapshot()
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	m1 := Merge(a, b, c)
+	m2 := Merge(c, a, b)
+	j1, _ := json.Marshal(m1)
+	j2, _ := json.Marshal(m2)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("merge order changed the profile:\n%s\n%s", j1, j2)
+	}
+	if m1.TotalCycles != a.TotalCycles+b.TotalCycles+c.TotalCycles {
+		t.Errorf("merged total %d != sum of inputs", m1.TotalCycles)
+	}
+	if m1.SelfSum() != m1.TotalCycles {
+		t.Errorf("merged self sum %d != total %d", m1.SelfSum(), m1.TotalCycles)
+	}
+	if got := Merge(nil, a, nil).TotalCycles; got != a.TotalCycles {
+		t.Errorf("nil inputs not skipped: %d", got)
+	}
+}
+
+// The folded export carries every non-zero frame, sorted, and the JSON
+// round-trips.
+func TestExports(t *testing.T) {
+	clk := &fakeClock{}
+	p := newProf(clk)
+	p.RegisterThread(1, "app")
+	p.Push(1, "comp.a")
+	clk.tick(70)
+	p.Push(1, "comp.b")
+	clk.tick(30)
+	p.Pop(1)
+	p.Pop(1)
+	pr := p.Snapshot()
+
+	var folded bytes.Buffer
+	if err := pr.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	want := "app;comp.a 70\napp;comp.a;comp.b 30\n"
+	if folded.String() != want {
+		t.Errorf("folded:\n%q\nwant:\n%q", folded.String(), want)
+	}
+
+	var js bytes.Buffer
+	if err := pr.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfile(&js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.Marshal(pr)
+	j2, _ := json.Marshal(back)
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON round-trip changed the profile")
+	}
+
+	var chrome bytes.Buffer
+	if err := pr.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	// app, comp.a, comp.b — one B and one E each.
+	if len(parsed.TraceEvents) != 6 {
+		t.Errorf("chrome trace has %d events, want 6", len(parsed.TraceEvents))
+	}
+
+	top := pr.Top(2)
+	if len(top) != 2 || top[0].Stack != "app;comp.a" || top[0].Inclusive != 100 {
+		t.Errorf("top: %+v", top)
+	}
+	var table bytes.Buffer
+	if err := pr.WriteTop(&table, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "comp.a") {
+		t.Errorf("top table missing frames:\n%s", table.String())
+	}
+}
+
+// Diff flags growth past the threshold, ignores noise below minCycles,
+// and marks new frames with an infinite ratio.
+func TestDiff(t *testing.T) {
+	old := &Profile{Frames: []Frame{
+		{Stack: "a", Self: 1000},
+		{Stack: "b", Self: 1000},
+		{Stack: "tiny", Self: 10},
+	}}
+	cur := &Profile{Frames: []Frame{
+		{Stack: "a", Self: 1500},   // 1.5x: regression at 0.2 threshold
+		{Stack: "b", Self: 1100},   // 1.1x: within threshold
+		{Stack: "tiny", Self: 90},  // 9x but under minCycles
+		{Stack: "new", Self: 5000}, // absent from old
+	}}
+	regs := Diff(old, cur, 0.2, 100)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %+v", len(regs), regs)
+	}
+	if regs[0].Stack != "new" || !math.IsInf(regs[0].Ratio, 1) {
+		t.Errorf("worst regression should be the new frame: %+v", regs[0])
+	}
+	if regs[1].Stack != "a" || regs[1].Ratio != 1.5 {
+		t.Errorf("expected a@1.5x: %+v", regs[1])
+	}
+	if got := Diff(old, old, 0.0, 1); len(got) != 0 {
+		t.Errorf("self-diff reported regressions: %+v", got)
+	}
+}
+
+// HostProfile aggregates per-worker phase times with sum and max.
+func TestHostProfile(t *testing.T) {
+	h := NewHostProfile(4)
+	h.Add("step", 2*time.Second, 10)
+	h.Add("step", 3*time.Second, 12)
+	h.Add("boot", 1*time.Second, 4)
+	h.Finish()
+	if len(h.Phases) != 2 || h.Phases[0].Name != "boot" {
+		t.Fatalf("phases: %+v", h.Phases)
+	}
+	st := h.Phase("step")
+	if st.WallSec != 5 || st.MaxSec != 3 || st.Calls != 22 {
+		t.Errorf("step phase: %+v", st)
+	}
+	if h.Phase("absent").Name != "" {
+		t.Error("absent phase not zero")
+	}
+	var tbl bytes.Buffer
+	if err := h.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "step") {
+		t.Errorf("table missing step:\n%s", tbl.String())
+	}
+	// Nil-safety mirrors the sim-side contract.
+	var nilH *HostProfile
+	nilH.Add("x", time.Second, 1)
+	nilH.Finish()
+	_ = nilH.Phase("x")
+}

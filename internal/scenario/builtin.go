@@ -184,6 +184,28 @@ func init() {
 		},
 	})
 
+	// --- Profiling campaign ---
+
+	// Profiled baseline: the plain steady-state workload with the
+	// cycle-exact compartment profiler armed. Its cells carry a folded
+	// call-stack profile in the summary, and the fixture judges the
+	// sum-to-clock invariant per seed.
+	Register(Scenario{
+		Name:    "profiled-baseline",
+		Summary: "steady-state fleet with the compartment profiler on; attribution must be exact",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.Duration = 16 * time.Second
+			return o
+		}(),
+		SLO: "crashes<=0;lost<=0",
+		Fixtures: []Fixture{
+			ProfileCaptured{},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+	})
+
 	// --- Suites ---
 
 	// smoke: the check.sh gate — small fleets, no flight-recorder
@@ -195,5 +217,5 @@ func init() {
 	RegisterSuite("faults", "pod-storm", "shard-failover", "broker-partition", "clock-skew", "quota-storm")
 	// all: everything registered.
 	RegisterSuite("all", "pod-storm", "shard-failover", "reconnect-churn", "mixed-profiles",
-		"broker-partition", "clock-skew", "quota-storm")
+		"broker-partition", "clock-skew", "quota-storm", "profiled-baseline")
 }

@@ -138,6 +138,35 @@ func (f FaultObserved) Check(res *fleet.Result) error {
 	return nil
 }
 
+// ProfileCaptured arms the cycle-exact compartment profiler and
+// asserts the captured profile is well-formed: present, non-empty, and
+// internally exact (per-frame self cycles sum to the attributed
+// total). Attach it to a scenario to get a folded-stack profile in
+// every cell's summary, with the sum-to-clock invariant judged per
+// seed.
+type ProfileCaptured struct{}
+
+func (ProfileCaptured) Name() string { return "profile-captured" }
+
+func (ProfileCaptured) Prepare(o *fleetcli.Options) error {
+	o.Prof = true
+	return nil
+}
+
+func (ProfileCaptured) Check(res *fleet.Result) error {
+	p := res.Summary.Profile
+	if p == nil {
+		return fmt.Errorf("no profile in the summary — profiler never armed")
+	}
+	if p.TotalCycles == 0 || len(p.Frames) == 0 {
+		return fmt.Errorf("profile is empty: %d frames, %d cycles", len(p.Frames), p.TotalCycles)
+	}
+	if got := p.SelfSum(); got != p.TotalCycles {
+		return fmt.Errorf("profile self-cycle sum %d != attributed total %d", got, p.TotalCycles)
+	}
+	return nil
+}
+
 // Churned asserts reconnect churn actually reconnected devices.
 type Churned struct{}
 

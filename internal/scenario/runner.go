@@ -8,6 +8,7 @@ import (
 
 	"github.com/cheriot-go/cheriot/internal/fleet"
 	"github.com/cheriot-go/cheriot/internal/fleetobs"
+	"github.com/cheriot-go/cheriot/internal/prof"
 )
 
 // FixtureResult is one judged fixture.
@@ -18,10 +19,10 @@ type FixtureResult struct {
 }
 
 // SeedVerdict is the judged outcome of one scenario×seed cell. Every
-// field is a pure function of the scenario and the seed — wall-clock
-// timing goes to the runner's Stderr, never in here — which is what
-// lets the sequential and worker-pool runners produce byte-identical
-// reports.
+// field except Host is a pure function of the scenario and the seed —
+// wall-clock timing goes to the runner's Stderr or the opt-in Host
+// split, never into the judged fields — which is what lets the
+// sequential and worker-pool runners produce byte-identical reports.
 type SeedVerdict struct {
 	Seed uint64 `json:"seed"`
 	Pass bool   `json:"pass"`
@@ -33,6 +34,10 @@ type SeedVerdict struct {
 	Fixtures []FixtureResult   `json:"fixtures,omitempty"`
 	// Summary is the run's deterministic evidence.
 	Summary *fleet.Summary `json:"summary,omitempty"`
+	// Host is the cell's host wall-clock phase split (boot/step/pump/
+	// merge), recorded only under Options.HostProf. It is machine- and
+	// load-dependent by nature: determinism comparisons must strip it.
+	Host *prof.HostProfile `json:"host,omitempty"`
 }
 
 // ScenarioReport aggregates one scenario across the seed matrix.
@@ -75,6 +80,11 @@ type Options struct {
 	// Stderr receives wall-clock progress lines (nil: silent). Timing
 	// is deliberately kept out of the report itself.
 	Stderr io.Writer
+	// HostProf records each cell's host wall-clock phase split
+	// (boot/step/pump/merge) in SeedVerdict.Host. Host timing is the one
+	// non-deterministic field in the report; leave it off when comparing
+	// reports byte-for-byte.
+	HostProf bool
 }
 
 // Run executes every scenario across the seed matrix and judges each
@@ -107,7 +117,7 @@ func Run(name string, scs []Scenario, opt Options) *SuiteReport {
 			for c := range jobs {
 				sc, seed := scs[c.si], opt.Seeds[c.vi]
 				start := time.Now()
-				v := runCell(sc, seed)
+				v := runCell(sc, seed, opt.HostProf)
 				rep.Scenarios[c.si].Seeds[c.vi] = v
 				if opt.Stderr != nil {
 					status := "pass"
@@ -146,13 +156,14 @@ func Run(name string, scs []Scenario, opt Options) *SuiteReport {
 }
 
 // runCell judges one scenario×seed cell.
-func runCell(sc Scenario, seed uint64) SeedVerdict {
+func runCell(sc Scenario, seed uint64, hostProf bool) SeedVerdict {
 	v := SeedVerdict{Seed: seed}
 	cfg, err := sc.Config(seed)
 	if err != nil {
 		v.Err = err.Error()
 		return v
 	}
+	cfg.HostProf = cfg.HostProf || hostProf
 	res, err := fleet.Run(cfg)
 	if err != nil {
 		v.Err = err.Error()
@@ -160,6 +171,7 @@ func runCell(sc Scenario, seed uint64) SeedVerdict {
 	}
 	s := res.Summary
 	v.Summary = &s
+	v.Host = res.HostProf
 	v.Pass = true
 	if s.Obs != nil && s.Obs.SLO != nil {
 		v.SLO = s.Obs.SLO

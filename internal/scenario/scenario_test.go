@@ -184,6 +184,51 @@ func TestSeedMatrixDeterminism(t *testing.T) {
 	}
 }
 
+// The ProfileCaptured fixture arms the profiler through Prepare and
+// the captured profile lands in the cell's summary, judged exact; the
+// HostProf option records the host phase split in the verdict without
+// touching the deterministic fields.
+func TestProfiledCell(t *testing.T) {
+	sc, ok := Get("profiled-baseline")
+	if !ok {
+		t.Fatal("profiled-baseline not registered")
+	}
+	if sc.Flags.Prof {
+		t.Fatal("profiled-baseline sets Flags.Prof itself; the Prepare path is untested")
+	}
+	cfg, err := sc.Config(1)
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	if !cfg.Prof {
+		t.Error("ProfileCaptured.Prepare did not arm the profiler")
+	}
+
+	prof := tinyScenario("t-prof", "crashes<=0", ProfileCaptured{})
+	rep := Run("prof", []Scenario{prof}, Options{Seeds: []uint64{1}, HostProf: true})
+	if !rep.Pass {
+		t.Fatalf("profiled cell failed: %+v", rep.Scenarios[0].Seeds[0])
+	}
+	sv := rep.Scenarios[0].Seeds[0]
+	if sv.Summary == nil || sv.Summary.Profile == nil || len(sv.Summary.Profile.Frames) == 0 {
+		t.Error("no profile in the cell summary")
+	}
+	if sv.Host == nil {
+		t.Fatal("HostProf option did not record the host phase split")
+	}
+	for _, phase := range []string{"boot", "step", "merge"} {
+		if sv.Host.Phase(phase).WallSec <= 0 {
+			t.Errorf("host phase %q missing from the cell verdict", phase)
+		}
+	}
+
+	// Without the option the verdict stays host-free.
+	rep = Run("prof", []Scenario{prof}, Options{Seeds: []uint64{1}})
+	if rep.Scenarios[0].Seeds[0].Host != nil {
+		t.Error("host split recorded without Options.HostProf")
+	}
+}
+
 // A failing SLO rule or fixture fails its cell, its scenario, and the
 // suite — and the evidence is recorded in the verdict.
 func TestFailingVerdictPropagates(t *testing.T) {

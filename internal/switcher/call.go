@@ -8,6 +8,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/prof"
 )
 
 // Fault is the error a compartment call returns when the callee trapped
@@ -73,6 +74,9 @@ func (k *Kernel) compartmentCall(t *Thread, caller *Comp, target, entry string, 
 	if telOn {
 		prevAcct = k.Core.Clock.SetCompAccount(k.telSwitcher.Slot())
 	}
+	// The profiler mirrors the account choreography with a "<switcher>"
+	// overlay frame on the caller's stack for the transition work.
+	k.prof.Push(t.ID, prof.DomainSwitcher)
 	k.Core.Tick(hw.CallBaseCycles)
 	callerName := ""
 	if caller != nil {
@@ -120,10 +124,16 @@ func (k *Kernel) compartmentCall(t *Thread, caller *Comp, target, entry string, 
 	if telOn && callee.acct != nil {
 		k.Core.Clock.SetCompAccount(callee.acct.Slot())
 	}
+	if k.prof != nil {
+		// Swap the overlay for the callee's frame while its entry runs.
+		k.prof.Swap(t.ID, k.profLabel(callee, exp))
+	}
 	rets, fault := k.runEntry(t, callee, exp, args)
 	if telOn {
 		k.Core.Clock.SetCompAccount(k.telSwitcher.Slot())
 	}
+	// Back to the overlay for the return-path zeroing.
+	k.prof.Swap(t.ID, prof.DomainSwitcher)
 
 	// Return path: scrub callee secrets, pop the trusted-stack frame,
 	// restore the caller's stack pointer and interrupt posture.
@@ -148,6 +158,7 @@ func (k *Kernel) compartmentCall(t *Thread, caller *Comp, target, entry string, 
 	if telOn {
 		k.Core.Clock.SetCompAccount(prevAcct)
 	}
+	k.prof.Pop(t.ID)
 	if fault != nil {
 		k.ctrUnwinds.Inc()
 		k.record(TraceEvent{Kind: TraceUnwind, Thread: t.Name, To: target})
@@ -177,6 +188,7 @@ func recPosture(p firmware.Posture) uint64 {
 // handling per the compartment's policy (§3.2.6).
 func (k *Kernel) runEntry(t *Thread, callee *Comp, exp *firmware.Export, args []api.Value) (rets []api.Value, fault *hw.Trap) {
 	const maxRetries = 1
+	profDepth := k.prof.Depth(t.ID)
 	for attempt := 0; ; attempt++ {
 		fault = nil
 		rets = nil
@@ -202,6 +214,9 @@ func (k *Kernel) runEntry(t *Thread, callee *Comp, exp *firmware.Export, args []
 			// and unwind cost — is charged to the faulting compartment.
 			k.Core.Clock.SetCompAccount(callee.acct.Slot())
 		}
+		// Likewise the panic may have abandoned profiler frames mid-
+		// transition; truncate back to this entry's own frame.
+		k.prof.PopTo(t.ID, profDepth)
 		k.ctrTraps.Inc()
 		k.record(TraceEvent{Kind: TraceTrap, Thread: t.Name,
 			To: callee.Name(), Detail: fault.Code.String()})

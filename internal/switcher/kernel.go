@@ -8,6 +8,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/flightrec"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/prof"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
@@ -93,6 +94,19 @@ type Kernel struct {
 	// forensics. All flightrec methods are nil-safe, so instrumented
 	// paths pay only the nil check when recording is disabled.
 	rec *flightrec.Recorder
+
+	// prof, when non-nil, is the cycle-exact call-stack profiler: the
+	// switcher's transition path pushes and pops frames on it so every
+	// simulated cycle lands in exactly one cross-compartment stack. All
+	// prof methods are nil-safe; disabled profiling costs one nil check.
+	prof *prof.Profiler
+	// profSw/profSched are the pre-resolved "<switcher>"/"<sched>"
+	// pseudo-domain frames: the tick path charges them with one clock
+	// read and no map lookup.
+	profSw, profSched prof.SysRef
+	// profLabels caches "compartment.entry" frame labels per export so
+	// the profiled call path allocates no strings after warm-up.
+	profLabels map[*firmware.Export]string
 
 	// Accounting for the evaluation harness.
 	idleCycles    uint64
@@ -213,6 +227,7 @@ func (k *Kernel) AddThread(def *firmware.Thread, layout firmware.ThreadLayout) *
 	if k.tel != nil {
 		t.acct = k.tel.ThreadAccount(t.Name)
 	}
+	k.prof.RegisterThread(t.ID, t.Name)
 	k.threads = append(k.threads, t)
 	t.start(def.Compartment, def.Entry)
 	return t
@@ -267,6 +282,51 @@ func (k *Kernel) EnableTelemetry(r *telemetry.Registry) {
 // Telemetry returns the attached registry, or nil when disabled.
 func (k *Kernel) Telemetry() *telemetry.Registry { return k.tel }
 
+// EnableProfiler attaches a call-stack profiler: from this point the
+// switcher reports every compartment entry, return, and unwind, so the
+// profiler attributes every cycle the clock advances to the exact
+// cross-compartment call stack that spent it (with "<switcher>",
+// "<sched>", and "<idle>" pseudo-domains matching the telemetry
+// accounts). Threads created later register automatically; threads
+// already inside compartments have their current stacks mirrored. Pass
+// nil to detach.
+func (k *Kernel) EnableProfiler(p *prof.Profiler) {
+	k.prof = p
+	if p == nil {
+		k.profLabels = nil
+		k.profSw, k.profSched = prof.SysRef{}, prof.SysRef{}
+		return
+	}
+	k.profSw = p.SysFrame(prof.DomainSwitcher)
+	k.profSched = p.SysFrame(prof.DomainSched)
+	for _, t := range k.threads {
+		p.RegisterThread(t.ID, t.Name)
+		for i := range t.frames {
+			fr := &t.frames[i]
+			p.Push(t.ID, k.profLabel(fr.comp, fr.exp))
+		}
+	}
+	// Until the first dispatch, time belongs to the switcher — the same
+	// convention EnableTelemetry establishes for the cycle accounts.
+	p.System(prof.DomainSwitcher)
+}
+
+// Profiler returns the attached profiler, or nil when disabled.
+func (k *Kernel) Profiler() *prof.Profiler { return k.prof }
+
+// profLabel resolves (and caches) a callee frame's profile label.
+func (k *Kernel) profLabel(c *Comp, exp *firmware.Export) string {
+	if s, ok := k.profLabels[exp]; ok {
+		return s
+	}
+	if k.profLabels == nil {
+		k.profLabels = make(map[*firmware.Export]string)
+	}
+	s := c.Name() + "." + exp.Name
+	k.profLabels[exp] = s
+	return s
+}
+
 // EnableFlightRecorder attaches a flight recorder; the kernel stamps its
 // events from the cycle clock. Pass nil to detach.
 func (k *Kernel) EnableFlightRecorder(r *flightrec.Recorder) {
@@ -277,17 +337,21 @@ func (k *Kernel) EnableFlightRecorder(r *flightrec.Recorder) {
 // FlightRecorder returns the attached recorder, or nil when disabled.
 func (k *Kernel) FlightRecorder() *flightrec.Recorder { return k.rec }
 
-// tickAs charges n cycles to the given pseudo-domain account instead of
-// whatever compartment account is installed; with telemetry disabled it is
-// a plain Tick.
-func (k *Kernel) tickAs(a *telemetry.CycleAccount, n uint64) {
+// tickAs charges n cycles to the given pseudo-domain — the telemetry
+// account and the matching profiler frame (dom) — instead of whatever
+// compartment is installed; with both disabled it is a plain Tick. Only
+// called from the kernel loop, where the resting frame between
+// dispatches is the switcher's: the profiler's current frame is left
+// in place and the domain charged out-of-band in a single transition.
+func (k *Kernel) tickAs(a *telemetry.CycleAccount, dom prof.SysRef, n uint64) {
 	if k.tel == nil {
 		k.Core.Tick(n)
-		return
+	} else {
+		prev := k.Core.Clock.SetCompAccount(a.Slot())
+		k.Core.Tick(n)
+		k.Core.Clock.SetCompAccount(prev)
 	}
-	prev := k.Core.Clock.SetCompAccount(a.Slot())
-	k.Core.Tick(n)
-	k.Core.Clock.SetCompAccount(prev)
+	k.prof.ChargeSys(dom, n)
 }
 
 // Stats reports the kernel's accounting counters.
@@ -348,6 +412,9 @@ func (k *Kernel) Run(stop func() bool) error {
 		if t == nil {
 			if deadline, ok := k.Core.NextEvent(); ok {
 				before := k.Core.Clock.Cycles()
+				if k.prof != nil {
+					k.prof.System(prof.DomainIdle)
+				}
 				if k.tel != nil {
 					// Idle time belongs to no thread and to the "<idle>"
 					// pseudo-domain.
@@ -358,6 +425,9 @@ func (k *Kernel) Run(stop func() bool) error {
 					k.Core.Clock.SetThreadAccount(prevT)
 				} else {
 					k.Core.SkipTo(deadline)
+				}
+				if k.prof != nil {
+					k.prof.SystemRef(k.profSw)
 				}
 				k.idleCycles += k.Core.Clock.Cycles() - before
 				continue
@@ -375,7 +445,7 @@ func (k *Kernel) Run(stop func() bool) error {
 		}
 		if t != k.lastRun {
 			// The restore itself is switcher work.
-			k.tickAs(k.telSwitcher, hw.ContextRestoreCycles)
+			k.tickAs(k.telSwitcher, k.profSw, hw.ContextRestoreCycles)
 			k.switchCount++
 			k.ctrSwitches.Inc()
 			k.record(TraceEvent{Kind: TraceSwitch, Thread: t.Name})
@@ -394,12 +464,16 @@ func (k *Kernel) Run(stop func() bool) error {
 				k.Core.Clock.SetCompAccount(k.telSwitcher.Slot())
 			}
 		}
+		// The profiler mirrors the account install: the dispatched
+		// thread's top-of-stack frame becomes current.
+		k.prof.Activate(t.ID)
 		t.resume <- resumeRun
 		msg := <-k.yieldCh
 		if k.tel != nil {
 			// Back in the kernel goroutine: time is the switcher's again.
 			k.Core.Clock.SetCompAccount(k.telSwitcher.Slot())
 		}
+		k.prof.SystemRef(k.profSw)
 		if k.fatal != nil {
 			panic(k.fatal)
 		}
@@ -409,13 +483,13 @@ func (k *Kernel) Run(stop func() bool) error {
 		case yieldBlocked:
 			// The scheduler recorded what the thread waits on; charge the
 			// decision it just made.
-			k.tickAs(k.telSched, hw.SchedulerDecideCycles)
+			k.tickAs(k.telSched, k.profSched, hw.SchedulerDecideCycles)
 		case yieldPreempt, yieldVoluntary:
 			k.ctrPreempts.Inc()
 			// Trap entry is switcher work; entering the scheduler
 			// compartment and picking the next thread is the scheduler's.
-			k.tickAs(k.telSwitcher, hw.TrapEntryCycles)
-			k.tickAs(k.telSched, hw.SchedulerEnterCycles+hw.SchedulerDecideCycles)
+			k.tickAs(k.telSwitcher, k.profSw, hw.TrapEntryCycles)
+			k.tickAs(k.telSched, k.profSched, hw.SchedulerEnterCycles+hw.SchedulerDecideCycles)
 			msg.t.state = StateReady
 			k.sched.Ready(msg.t)
 		}

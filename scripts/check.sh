@@ -25,6 +25,19 @@ echo "== fleet smoke run =="
 go run ./cmd/cheriot-fleet -devices 16 -duration 200ms -seed 1 >/dev/null
 echo "ok"
 
+echo "== profiled fleet + hotspot regression gate (race) =="
+profdir=$(mktemp -d)
+# Re-profile the canonical lockstep workload and diff it against the
+# committed baseline: the profile is deterministic, so any frame whose
+# self-cycles grew >50% (above a 1M-cycle noise floor) is a real
+# hotspot regression and fails the check (exit 3).
+go run -race ./cmd/cheriot-fleet -devices 4 -lockstep -duration 12s -seed 1 \
+	-prof -prof-out "$profdir/prof.json" >/dev/null
+go run ./cmd/cheriot-prof diff -threshold 0.5 -min-cycles 1000000 \
+	scripts/prof-baseline.json "$profdir/prof.json"
+rm -rf "$profdir"
+echo "ok"
+
 echo "== sharded-cloud smoke run (race) =="
 go run -race ./cmd/cheriot-fleet -devices 32 -shards 4 -duration 14s \
 	-fanout 2s -fanout-cmds -seed 1 >/dev/null
