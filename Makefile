@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check trace fleet fleet-shard fleetobs campaign inspect prof
+.PHONY: build test bench check trace fleet fleet-shard fleetobs campaign inspect prof snapshot
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,14 @@ fleetobs:
 # SLO rules and fixtures; exits 3 if any scenario×seed cell fails.
 campaign:
 	$(GO) run ./cmd/cheriot-campaign run all -seeds 3 -par 4
+
+# Snapshot/fork boot side by side: the same 1000-device fleet spun up
+# cold (full loader per device) and forked (one cold boot per firmware
+# shape, snapshot forks for the rest). Compare the boot phase in the
+# host-profile tables and the "snapshot boot:" stats line.
+snapshot:
+	$(GO) run ./cmd/cheriot-fleet -devices 1000 -duration 2s -hostprof -no-snapshot
+	$(GO) run ./cmd/cheriot-fleet -devices 1000 -duration 2s -hostprof
 
 # Flight-recorder demo: a use-after-free caught by the black box, with
 # its capability-provenance chain.

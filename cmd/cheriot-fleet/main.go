@@ -16,6 +16,7 @@
 //	cheriot-fleet -devices 16 -obs -slo 'delivery>=0.99;p99<=5ms'
 //	cheriot-fleet -devices 16 -prof -prof-out prof.json  # cycle profiler
 //	cheriot-fleet -devices 64 -hostprof                  # host phase split
+//	cheriot-fleet -devices 10000 -no-snapshot            # cold-boot every device
 //
 // Durations are simulated time (33 MHz device clocks). The JSON summary on
 // stdout is deterministic for a given config+seed; wall-clock timings go
@@ -81,6 +82,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wall clock: boot %.2fs, run %.2fs (%d devices / %d workers / %d cloud shards, %.0fx real time)\n",
 		res.BootWall.Seconds(), res.RunWall.Seconds(), s.Devices, s.Shards, s.CloudShards,
 		s.SimSeconds*float64(s.Devices)/res.RunWall.Seconds())
+	if st := res.Snapshot; st != nil {
+		fmt.Fprintf(os.Stderr, "snapshot boot: %d template(s), %d cold boot(s), %d fork(s)\n",
+			st.Templates, st.ColdBoots, st.Forks)
+	}
 	if hp := res.HostProf; hp != nil {
 		fmt.Fprintf(os.Stderr, "host phases (%d workers):\n", hp.Workers)
 		if err := hp.WriteTable(os.Stderr); err != nil {

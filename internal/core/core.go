@@ -34,6 +34,11 @@ type System struct {
 	Sched *sched.Sched
 	Alloc *alloc.Alloc
 	Token *token.Token
+
+	// Snapshot is the captured post-boot machine state, non-nil only when
+	// the System was booted with BootOptions.CaptureSnapshot. Pass it as
+	// BootOptions.Snapshot to fork further identical Systems.
+	Snapshot *loader.Snapshot
 }
 
 // NewImage returns an empty firmware image with the paper's default board
@@ -43,10 +48,25 @@ func NewImage(name string) *firmware.Image { return firmware.NewImage(name) }
 // BootOptions tunes Boot for callers that construct many Systems (the
 // fleet simulator boots thousands).
 type BootOptions struct {
-	// SkipReport skips the firmware audit report (System.Report stays
-	// nil). The booted machine is identical; audit one representative
-	// image instead of re-deriving the same report per device.
+	// SkipReport skips building the firmware audit report (System.Report
+	// stays nil). The report is pure derived data — it never feeds back
+	// into the capability graph — so the booted machine is identical;
+	// audit one representative image instead of re-deriving the same
+	// report per device.
 	SkipReport bool
+	// CaptureSnapshot records the complete post-boot machine state into
+	// System.Snapshot: the SRAM image (data, stored capabilities, tag and
+	// revocation bitmaps), the linker layout, the quota records, and each
+	// compartment's capability sets. The booted machine itself is
+	// unchanged; capturing costs one sparse SRAM scan.
+	CaptureSnapshot bool
+	// Snapshot, when non-nil, forks the System from previously captured
+	// post-boot state instead of running the linker and loader. The image
+	// must have the same shape (compartment/library/thread structure,
+	// SRAM, clock) as the one the snapshot was captured from; its Go
+	// closures (Entry, State, ErrorHandler) and name are the fork's own.
+	// The result is indistinguishable from a cold boot of the same image.
+	Snapshot *loader.Snapshot
 }
 
 // Boot injects the TCB compartments into the image (unless the image
@@ -74,13 +94,21 @@ func BootWith(img *firmware.Image, opts BootOptions) (*System, error) {
 		s.Token.AddTo(img)
 	}
 
-	boot, err := loader.LoadWith(img, loader.Options{SkipReport: opts.SkipReport})
+	lopts := loader.Options{SkipReport: opts.SkipReport, CaptureSnapshot: opts.CaptureSnapshot}
+	var boot *loader.Boot
+	var err error
+	if opts.Snapshot != nil {
+		boot, err = loader.Fork(opts.Snapshot, img, lopts)
+	} else {
+		boot, err = loader.LoadWith(img, lopts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: boot failed: %w", err)
 	}
 	s.Kernel = boot.Kernel
 	s.Board = boot.Board
 	s.Report = boot.Report
+	s.Snapshot = boot.Snapshot
 
 	s.Sched.Attach(s.Kernel)
 	s.Alloc.Attach(s.Kernel, boot.Quotas)

@@ -109,6 +109,12 @@ type Device struct {
 	Partitioned bool
 	SkewMillis  int64
 
+	// Forked reports whether the device's System was forked from a
+	// snapshot template rather than cold-booted through the loader. Which
+	// device of a shape cold-boots depends on shard scheduling, so this
+	// is host-path detail (like the wall timings), never Summary material.
+	Forked bool
+
 	cfg     *Config
 	rng     *rng
 	arrival uint64 // cycles to wait before starting setup
@@ -119,6 +125,11 @@ type Device struct {
 	pumpCount   uint64
 	pumpSampled uint64
 	pumpWall    time.Duration
+
+	// bootWall is the wall-clock cost of System construction alone (cold
+	// loader boot or snapshot fork); the runner splits it into the
+	// boot/cold and boot/fork host-profile sub-phases.
+	bootWall time.Duration
 }
 
 // deviceIP maps a device index into 10.4.0.0/16, disjoint from the cloud
@@ -170,8 +181,19 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 	}
 
 	// Skip the per-device audit report: devices share a handful of
-	// firmware shapes; audit one representative per shape instead.
-	sys, err := core.BootWith(img, core.BootOptions{SkipReport: true})
+	// firmware shapes; audit one representative per shape instead. With
+	// the snapshot cache armed, the first device of each shape cold-boots
+	// and becomes the template; every other device forks from it.
+	bootOpts := core.BootOptions{SkipReport: true}
+	var sys *core.System
+	var err error
+	t0 := time.Now()
+	if cfg.snapCache != nil {
+		sys, d.Forked, err = cfg.snapCache.Boot(d.Profile.Firmware, img, bootOpts)
+	} else {
+		sys, err = core.BootWith(img, bootOpts)
+	}
+	d.bootWall = time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("device %d: %w", i, err)
 	}

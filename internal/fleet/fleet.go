@@ -43,6 +43,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/fleetobs"
 	"github.com/cheriot-go/cheriot/internal/hw"
 	"github.com/cheriot-go/cheriot/internal/prof"
+	"github.com/cheriot-go/cheriot/internal/snapshot"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
 )
 
@@ -173,9 +174,20 @@ type Config struct {
 	// the deterministic Summary.
 	HostProf bool
 
+	// NoSnapshot disables snapshot/fork boot (the -no-snapshot escape
+	// hatch): every device cold-boots through the full linker + loader
+	// path. By default the fleet boots one template device per firmware
+	// shape, captures its post-boot state, and forks the rest from the
+	// template — byte-identical to a cold boot (internal/snapshot proves
+	// it), at a fraction of the per-device cost.
+	NoSnapshot bool
+
 	// legacyCloud selects the pre-sharding single-broker cloud; a
 	// package-internal hook for the 1-shard equivalence test.
 	legacyCloud bool
+	// snapCache is the per-run template cache behind snapshot/fork boot;
+	// set by Run, keyed by firmware shape alias (Profile.Firmware).
+	snapCache *snapshot.Cache
 }
 
 // obsSampleRate resolves the ObsSample convention.
@@ -547,10 +559,18 @@ type ProfileStat struct {
 // Result is what Run returns: the deterministic Summary plus wall-clock
 // measurements and the per-device detail.
 type Result struct {
-	Summary  Summary
+	Summary Summary
+	// Config is the fully-defaulted configuration the run used; scenario
+	// fixtures re-run variations of it (e.g. the same fleet with
+	// NoSnapshot) without re-deriving the defaults.
+	Config   Config
 	Devices  []*Device
 	BootWall time.Duration
 	RunWall  time.Duration
+	// Snapshot counts the snapshot/fork boot cache's work (nil when
+	// NoSnapshot or a single device): templates captured, cold boots,
+	// forks. Host-path bookkeeping, not part of the deterministic Summary.
+	Snapshot *snapshot.CacheStats
 	// Spans is the merged, deterministically sorted span list (empty
 	// unless Config.Obs); export it with fleetobs.WriteChromeTrace.
 	Spans []fleetobs.Span
@@ -586,6 +606,13 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Snapshot/fork boot: one template per firmware shape, forked into
+	// every further device. Pointless for a single device; -no-snapshot
+	// forces the full loader path per device.
+	cfg.snapCache = nil
+	if cfg.Devices > 1 && !cfg.NoSnapshot {
+		cfg.snapCache = snapshot.NewCache()
+	}
 	cl := newCloud(&cfg)
 	schedule := cfg.cloudSchedule()
 	horizon := cfg.horizonCycles()
@@ -612,6 +639,8 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			t0 := time.Now()
 			built := 0
+			var coldWall, forkWall time.Duration
+			var colds, forks uint64
 			for _, i := range shardIndices[s] {
 				d, err := buildDevice(&cfg, cl, schedule, i)
 				if err != nil {
@@ -620,8 +649,24 @@ func Run(cfg Config) (*Result, error) {
 				}
 				devices[i] = d
 				built++
+				if d.Forked {
+					forkWall += d.bootWall
+					forks++
+				} else {
+					coldWall += d.bootWall
+					colds++
+				}
 			}
 			hp.Add("boot", time.Since(t0), uint64(built))
+			// Sub-phases isolate System construction (linker + loader vs
+			// snapshot fork) from the rest of buildDevice (image defs,
+			// netsim world, telemetry arming), which is identical either way.
+			if colds > 0 {
+				hp.Add("boot/cold", coldWall, colds)
+			}
+			if forks > 0 {
+				hp.Add("boot/fork", forkWall, forks)
+			}
 		}(s)
 	}
 	wg.Wait()
@@ -672,6 +717,14 @@ func Run(cfg Config) (*Result, error) {
 		RunWall:  runWall,
 		Spans:    spans,
 	}
+	if cfg.snapCache != nil {
+		stats := cfg.snapCache.Stats()
+		res.Snapshot = &stats
+	}
+	// The published Config must not retain the template cache (it can pin
+	// a full SRAM snapshot per shape).
+	res.Config = cfg
+	res.Config.snapCache = nil
 	hp.Add("merge", time.Since(mergeStart), 1)
 	hp.Finish()
 	res.HostProf = hp

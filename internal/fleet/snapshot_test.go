@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestForkedFleetMatchesColdFleet runs the same config with snapshot/fork
+// boot (the default) and with NoSnapshot (every device through the full
+// loader) and requires byte-identical JSON summaries: forking must be
+// invisible to everything deterministic.
+func TestForkedFleetMatchesColdFleet(t *testing.T) {
+	cfg := testConfig()
+	cfg.Lockstep = true
+
+	forked, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("forked run: %v", err)
+	}
+	cold := cfg
+	cold.NoSnapshot = true
+	coldRes, err := Run(cold)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+
+	if forked.Snapshot == nil {
+		t.Fatal("default run did not use the snapshot cache")
+	}
+	if coldRes.Snapshot != nil {
+		t.Fatal("NoSnapshot run reports snapshot cache stats")
+	}
+	if st := *forked.Snapshot; st.Templates != 1 || st.ColdBoots != 1 ||
+		st.Forks != cfg.Devices-1 {
+		t.Fatalf("snapshot stats = %+v, want 1 template, 1 cold boot, %d forks", st, cfg.Devices-1)
+	}
+	forks := 0
+	for _, d := range forked.Devices {
+		if d.Forked {
+			forks++
+		}
+	}
+	if forks != cfg.Devices-1 {
+		t.Fatalf("%d devices report Forked, want %d", forks, cfg.Devices-1)
+	}
+
+	j1, j2 := summaryJSON(t, forked.Summary), summaryJSON(t, coldRes.Summary)
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("forked fleet summary diverges from cold boot:\n--- forked ---\n%s\n--- cold ---\n%s", j1, j2)
+	}
+
+	// Final machine state must match too, device by device.
+	for i := range forked.Devices {
+		if !forked.Devices[i].Sys.Board.Core.Mem.Equal(coldRes.Devices[i].Sys.Board.Core.Mem) {
+			t.Errorf("device %d final memory diverges between forked and cold boot", i)
+		}
+	}
+}
+
+// TestHeterogeneousFleetTemplatesPerShape proves a mixed Go+jsvm fleet
+// never shares a template across firmware shapes: one template (and one
+// cold boot) per distinct Profile.Firmware, and the jsvm devices really
+// fork from the jsvm template (their firmware has an extra library, so a
+// shared template would fail loudly at fork validation).
+func TestHeterogeneousFleetTemplatesPerShape(t *testing.T) {
+	cfg := Config{
+		Devices:       6,
+		Lockstep:      true,
+		Duration:      12 * time.Second,
+		PublishRate:   2,
+		ArrivalSpread: 500 * time.Millisecond,
+		Seed:          11,
+		Profiles: []Profile{
+			{Name: "go", Weight: 1, Firmware: FirmwareGo},
+			{Name: "js", Weight: 1, Firmware: FirmwareJS},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Snapshot == nil {
+		t.Fatal("snapshot cache not armed")
+	}
+	shapes := map[string]int{}
+	for _, d := range res.Devices {
+		shapes[d.Profile.Firmware]++
+	}
+	if len(shapes) != 2 {
+		t.Fatalf("seeded profile assignment produced %d shapes (%v); want both", len(shapes), shapes)
+	}
+	st := *res.Snapshot
+	if st.Templates != 2 || st.ColdBoots != 2 {
+		t.Fatalf("snapshot stats = %+v, want exactly one template and cold boot per shape", st)
+	}
+	if st.Forks != cfg.Devices-2 {
+		t.Fatalf("forks = %d, want %d", st.Forks, cfg.Devices-2)
+	}
+	if res.Summary.DeviceErrors != 0 {
+		t.Fatalf("%d device errors", res.Summary.DeviceErrors)
+	}
+}
+
+// TestSingleDeviceSkipsSnapshotCache pins the Devices==1 special case: a
+// lone device gains nothing from capturing a template it will never fork.
+func TestSingleDeviceSkipsSnapshotCache(t *testing.T) {
+	cfg := testConfig()
+	cfg.Devices = 1
+	cfg.Lockstep = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Snapshot != nil {
+		t.Fatal("single-device run armed the snapshot cache")
+	}
+	if res.Devices[0].Forked {
+		t.Fatal("single device reported Forked")
+	}
+}

@@ -50,6 +50,7 @@ type Options struct {
 	SLO          string        // -slo (implies -obs)
 	Prof         bool          // -prof: cycle-exact compartment profiler
 	HostProf     bool          // -hostprof: host wall-clock phase split
+	NoSnapshot   bool          // -no-snapshot: cold-boot every device
 }
 
 // Default returns the cheriot-fleet flag defaults.
@@ -102,6 +103,7 @@ func (o *Options) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.SLO, "slo", o.SLO, "SLO rules over the health series, e.g. 'delivery>=0.99;p99<=5ms;availability>=0.9@12s' (implies -obs)")
 	fs.BoolVar(&o.Prof, "prof", o.Prof, "cycle-exact compartment profiler (folded call stacks in the summary)")
 	fs.BoolVar(&o.HostProf, "hostprof", o.HostProf, "time the runner's host wall-clock phases (boot/step/pump/merge)")
+	fs.BoolVar(&o.NoSnapshot, "no-snapshot", o.NoSnapshot, "disable snapshot/fork boot: run the full loader for every device instead of forking from a per-shape template")
 }
 
 // Config builds the fleet configuration, parsing the profile spec and
@@ -144,6 +146,7 @@ func (o Options) Config() (fleet.Config, error) {
 		SLO:            o.SLO,
 		Prof:           o.Prof,
 		HostProf:       o.HostProf,
+		NoSnapshot:     o.NoSnapshot,
 	}, nil
 }
 

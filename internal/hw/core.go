@@ -22,7 +22,14 @@ type Core struct {
 // NewCore builds a core with the given SRAM size and clock frequency
 // (0 means DefaultHz).
 func NewCore(sramSize uint32, hz uint64) *Core {
-	m := mem.New(sramSize)
+	return NewCoreWith(mem.New(sramSize), hz)
+}
+
+// NewCoreWith builds a core around existing SRAM. Snapshot/fork boot uses
+// it to wrap a restored memory image in a fresh clock, revoker, and
+// interrupt controller — the boot-time state of all three is their zero
+// state, so a forked core is indistinguishable from a cold-booted one.
+func NewCoreWith(m *mem.Memory, hz uint64) *Core {
 	c := &Core{
 		Mem:     m,
 		Clock:   NewClock(hz),

@@ -28,6 +28,21 @@ type Board struct {
 	Net     *hw.NetAdaptor
 }
 
+// newBoard instantiates the SoC's devices around a core. Cold boot and
+// Fork both use it: device state is reconstructed per machine, never
+// snapshotted (the snapshot captures only pre-run state, where every
+// device is at reset).
+func newBoard(core *hw.Core) *Board {
+	return &Board{
+		Core:    core,
+		Timer:   hw.NewTimer(core),
+		Revoker: hw.NewRevokerControl(core),
+		UART:    hw.NewUART(core),
+		LEDs:    hw.NewLEDBank(core),
+		Net:     hw.NewNetAdaptor(core),
+	}
+}
+
 // QuotaRecord describes one static allocation capability the loader
 // instantiated: the allocator consumes these at construction (§3.2.2).
 type QuotaRecord struct {
@@ -49,6 +64,9 @@ type Boot struct {
 	Layout *firmware.Layout
 	Report *firmware.Report
 	Quotas []QuotaRecord
+	// Snapshot is the captured post-boot state (nil unless
+	// Options.CaptureSnapshot): the input to Fork.
+	Snapshot *Snapshot
 }
 
 // AllocatorCompartment is the name of the allocator compartment, the only
@@ -87,6 +105,13 @@ type Options struct {
 	// time and memory when booting many Systems whose images share a
 	// single already-audited template.
 	SkipReport bool
+	// CaptureSnapshot records the complete post-boot machine state into
+	// Boot.Snapshot: the SRAM image (data, capabilities, tag and
+	// revocation bitmaps), the linker layout, the quota records, and the
+	// per-compartment capability sets. Fork stamps out further machines
+	// from it without re-running the loader. Capturing costs one sparse
+	// SRAM scan; the booted machine itself is unchanged.
+	CaptureSnapshot bool
 }
 
 // Load links the image, builds the machine, and instantiates the initial
@@ -110,14 +135,7 @@ func LoadWith(img *firmware.Image, opts Options) (*Boot, error) {
 	}
 
 	core := hw.NewCore(img.SRAM, img.Hz)
-	board := &Board{
-		Core:    core,
-		Timer:   hw.NewTimer(core),
-		Revoker: hw.NewRevokerControl(core),
-		UART:    hw.NewUART(core),
-		LEDs:    hw.NewLEDBank(core),
-		Net:     hw.NewNetAdaptor(core),
-	}
+	board := newBoard(core)
 	k := switcher.NewKernel(core)
 
 	// The loader's working authority: the omnipotent root over SRAM. It
@@ -215,13 +233,15 @@ func LoadWith(img *firmware.Image, opts Options) (*Boot, error) {
 		}
 	}
 
-	// Pass 3: export tables, then import tables referencing them.
-	for _, b := range comps {
-		if err := writeExportTable(core, root, b); err != nil {
+	// Pass 3: export tables, then import tables referencing them. Image
+	// order, so boot is bit-for-bit reproducible run to run.
+	for _, cdef := range img.Compartments {
+		if err := writeExportTable(core, root, comps[cdef.Name]); err != nil {
 			return nil, err
 		}
 	}
-	for _, b := range comps {
+	for _, cdef := range img.Compartments {
+		b := comps[cdef.Name]
 		if err := buildImports(core, root, sealSwitcher, img, layout, comps, sealedAllocCaps, b); err != nil {
 			return nil, err
 		}
@@ -245,10 +265,14 @@ func LoadWith(img *firmware.Image, opts Options) (*Boot, error) {
 	}
 	k.SetHeap(layout.Heap, AllocatorCompartment)
 
-	return &Boot{
+	boot := &Boot{
 		Kernel: k, Board: board, Image: img, Layout: layout,
 		Report: report, Quotas: quotas,
-	}, nil
+	}
+	if opts.CaptureSnapshot {
+		boot.Snapshot = capture(img, core, layout, report, quotas, comps)
+	}
+	return boot, nil
 }
 
 // compBuild accumulates a compartment's runtime pieces during boot.

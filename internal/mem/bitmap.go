@@ -1,17 +1,52 @@
 package mem
 
-// bitmap is a dense bit set indexed by granule number.
-type bitmap []uint64
+// Bitmap is a dense bit set indexed by granule number. The tag and
+// revocation sidecars are Bitmaps; snapshot/fork boot deep-copies them
+// with Clone and proves fork ≡ cold-boot identity with Equal.
+type Bitmap []uint64
 
-func newBitmap(bits uint32) bitmap { return make(bitmap, (bits+63)/64) }
+// NewBitmap returns a zeroed bitmap holding the given number of bits.
+func NewBitmap(bits uint32) Bitmap { return make(Bitmap, (bits+63)/64) }
 
-func (b bitmap) get(i uint32) bool { return b[i/64]&(1<<(i%64)) != 0 }
-func (b bitmap) set(i uint32)      { b[i/64] |= 1 << (i % 64) }
-func (b bitmap) clear(i uint32)    { b[i/64] &^= 1 << (i % 64) }
+func (b Bitmap) get(i uint32) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b Bitmap) set(i uint32)      { b[i/64] |= 1 << (i % 64) }
+func (b Bitmap) clear(i uint32)    { b[i/64] &^= 1 << (i % 64) }
+
+// Get reports bit i.
+func (b Bitmap) Get(i uint32) bool { return b.get(i) }
+
+// Set sets bit i.
+func (b Bitmap) Set(i uint32) { b.set(i) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i uint32) { b.clear(i) }
+
+// Clone returns an independent deep copy.
+func (b Bitmap) Clone() Bitmap {
+	if b == nil {
+		return nil
+	}
+	c := make(Bitmap, len(b))
+	copy(c, b)
+	return c
+}
+
+// Equal reports whether two bitmaps have the same length and bits.
+func (b Bitmap) Equal(o Bitmap) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i, w := range b {
+		if w != o[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // rangeWords visits the words covering bits [first, last], passing each
 // word index with the mask of in-range bits within that word.
-func (b bitmap) rangeWords(first, last uint32, f func(w uint32, mask uint64)) {
+func (b Bitmap) rangeWords(first, last uint32, f func(w uint32, mask uint64)) {
 	for w := first / 64; w <= last/64; w++ {
 		mask := ^uint64(0)
 		if w == first/64 {
@@ -24,12 +59,12 @@ func (b bitmap) rangeWords(first, last uint32, f func(w uint32, mask uint64)) {
 	}
 }
 
-// setRange sets bits [first, last].
-func (b bitmap) setRange(first, last uint32) {
+// SetRange sets bits [first, last].
+func (b Bitmap) SetRange(first, last uint32) {
 	b.rangeWords(first, last, func(w uint32, mask uint64) { b[w] |= mask })
 }
 
-// clearRange clears bits [first, last].
-func (b bitmap) clearRange(first, last uint32) {
+// ClearRange clears bits [first, last].
+func (b Bitmap) ClearRange(first, last uint32) {
 	b.rangeWords(first, last, func(w uint32, mask uint64) { b[w] &^= mask })
 }

@@ -22,8 +22,8 @@ const Granule = cap.GranuleSize
 type Memory struct {
 	data    []byte
 	caps    map[uint32]cap.Capability // granule index -> stored capability
-	tags    bitmap                    // granule index -> tag bit
-	revoked bitmap                    // granule index -> revocation bit
+	tags    Bitmap                    // granule index -> tag bit
+	revoked Bitmap                    // granule index -> revocation bit
 	windows []window                  // MMIO windows, above len(data)
 
 	// onLoadFilter, when set, observes the load filter clearing the tag
@@ -49,8 +49,8 @@ func New(size uint32) *Memory {
 	return &Memory{
 		data:    make([]byte, size),
 		caps:    make(map[uint32]cap.Capability),
-		tags:    newBitmap(n),
-		revoked: newBitmap(n),
+		tags:    NewBitmap(n),
+		revoked: NewBitmap(n),
 	}
 }
 

@@ -14,7 +14,7 @@ func (m *Memory) Revoke(addr, n uint32) {
 	if n == 0 || !m.inSRAM(addr, n) {
 		return
 	}
-	m.revoked.setRange(m.granule(addr), m.granule(addr+n-1))
+	m.revoked.SetRange(m.granule(addr), m.granule(addr+n-1))
 }
 
 // ClearRevoked clears the revocation bits for [addr, addr+n). The
@@ -24,7 +24,7 @@ func (m *Memory) ClearRevoked(addr, n uint32) {
 	if n == 0 || !m.inSRAM(addr, n) {
 		return
 	}
-	m.revoked.clearRange(m.granule(addr), m.granule(addr+n-1))
+	m.revoked.ClearRange(m.granule(addr), m.granule(addr+n-1))
 }
 
 func (m *Memory) isRevoked(addr uint32) bool {

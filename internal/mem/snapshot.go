@@ -1,0 +1,144 @@
+package mem
+
+import (
+	"maps"
+
+	"github.com/cheriot-go/cheriot/internal/cap"
+)
+
+// Deep-copy, equality, and snapshot/restore support for snapshot/fork
+// boot: a booted template device's SRAM (data bytes, stored capabilities,
+// tag and revocation bitmaps) is captured once and stamped out per forked
+// device without re-running the loader.
+//
+// MMIO windows and the load-filter hook are deliberately NOT part of any
+// copy: windows hold live device pointers (each forked core re-maps its
+// own devices at the same addresses), and the hook is per-device
+// observability state installed after boot.
+
+// Clone returns an independent deep copy of the SRAM state: data bytes,
+// stored capabilities, and the tag and revocation bitmaps. The clone has
+// no MMIO windows and no load-filter hook.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{
+		data:    append([]byte(nil), m.data...),
+		caps:    make(map[uint32]cap.Capability, len(m.caps)),
+		tags:    m.tags.Clone(),
+		revoked: m.revoked.Clone(),
+	}
+	for g, v := range m.caps {
+		c.caps[g] = v
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical SRAM state: same
+// data bytes, same stored capabilities, same tag and revocation bitmaps.
+// MMIO windows and the load-filter hook are not compared (see the
+// package note above).
+func (m *Memory) Equal(o *Memory) bool {
+	if len(m.data) != len(o.data) || len(m.caps) != len(o.caps) {
+		return false
+	}
+	for i, b := range m.data {
+		if b != o.data[i] {
+			return false
+		}
+	}
+	for g, c := range m.caps {
+		if o.caps[g] != c {
+			return false
+		}
+	}
+	return m.tags.Equal(o.tags) && m.revoked.Equal(o.revoked)
+}
+
+// snapChunk is one run of non-zero data bytes in a snapshot.
+type snapChunk struct {
+	off  uint32
+	data []byte
+}
+
+// Snapshot is an immutable copy of a Memory's SRAM state, optimized for
+// repeated Restore: post-boot SRAM is overwhelmingly zero (the loader
+// zeroes the heap and erases itself), so only the non-zero runs are
+// stored and re-materialized — restoring costs a fresh zeroed
+// allocation plus a few sparse copies instead of a full SRAM memcpy.
+// The stored capabilities are kept as a prototype map so each Restore
+// is a bulk maps.Clone rather than entry-by-entry inserts.
+type Snapshot struct {
+	size    uint32
+	chunks  []snapChunk
+	caps    map[uint32]cap.Capability
+	tags    Bitmap
+	revoked Bitmap
+}
+
+// snapChunkBytes is the scan granularity: runs of non-zero data are
+// detected and stored in blocks of this size.
+const snapChunkBytes = 256
+
+// Snapshot captures the memory's SRAM state (not MMIO windows, not the
+// load-filter hook). The result shares nothing with m.
+func (m *Memory) Snapshot() *Snapshot {
+	s := &Snapshot{
+		size:    uint32(len(m.data)),
+		caps:    make(map[uint32]cap.Capability, len(m.caps)),
+		tags:    m.tags.Clone(),
+		revoked: m.revoked.Clone(),
+	}
+	// Coalesce adjacent dirty blocks into single chunks.
+	runStart := -1
+	flush := func(end int) {
+		if runStart >= 0 {
+			s.chunks = append(s.chunks, snapChunk{
+				off:  uint32(runStart),
+				data: append([]byte(nil), m.data[runStart:end]...),
+			})
+			runStart = -1
+		}
+	}
+	for off := 0; off < len(m.data); off += snapChunkBytes {
+		end := off + snapChunkBytes
+		if end > len(m.data) {
+			end = len(m.data)
+		}
+		dirty := false
+		for _, b := range m.data[off:end] {
+			if b != 0 {
+				dirty = true
+				break
+			}
+		}
+		if dirty {
+			if runStart < 0 {
+				runStart = off
+			}
+		} else {
+			flush(off)
+		}
+	}
+	flush(len(m.data))
+	// The prototype caps map; behavior never depends on map layout (it
+	// is lookup-only in Memory), so a bulk clone per Restore is safe.
+	for g, c := range m.caps {
+		s.caps[g] = c
+	}
+	return s
+}
+
+// Restore materializes a fresh Memory with the snapshot's SRAM state. The
+// result shares nothing mutable with the snapshot; windows and the
+// load-filter hook start empty.
+func (s *Snapshot) Restore() *Memory {
+	m := &Memory{
+		data:    make([]byte, s.size),
+		caps:    maps.Clone(s.caps),
+		tags:    s.tags.Clone(),
+		revoked: s.revoked.Clone(),
+	}
+	for _, ch := range s.chunks {
+		copy(m.data[ch.off:], ch.data)
+	}
+	return m
+}

@@ -184,6 +184,29 @@ func init() {
 		},
 	})
 
+	// --- Snapshot-boot campaign ---
+
+	// Snapshot fork: the plain steady-state workload booted the default
+	// way (one cold boot per firmware shape, every other device forked
+	// from the template), with the fixture re-running the identical
+	// fleet cold and demanding a byte-identical summary. This is the
+	// campaign-level proof that fork ≡ cold boot.
+	Register(Scenario{
+		Name:    "snapshot-fork",
+		Summary: "fork the fleet from a booted template; a cold-booted re-run must be byte-identical",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.Duration = 16 * time.Second
+			return o
+		}(),
+		SLO: "crashes<=0;lost<=0",
+		Fixtures: []Fixture{
+			ForkedEqualsCold{},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+	})
+
 	// --- Profiling campaign ---
 
 	// Profiled baseline: the plain steady-state workload with the
@@ -210,12 +233,12 @@ func init() {
 
 	// smoke: the check.sh gate — small fleets, no flight-recorder
 	// storms, fast enough to run under -race on every commit.
-	RegisterSuite("smoke", "reconnect-churn", "clock-skew", "shard-failover")
+	RegisterSuite("smoke", "reconnect-churn", "clock-skew", "shard-failover", "snapshot-fork")
 	// ported: the four legacy ad-hoc campaigns.
 	RegisterSuite("ported", "pod-storm", "shard-failover", "reconnect-churn", "mixed-profiles")
 	// faults: every fault-schedule campaign.
 	RegisterSuite("faults", "pod-storm", "shard-failover", "broker-partition", "clock-skew", "quota-storm")
 	// all: everything registered.
 	RegisterSuite("all", "pod-storm", "shard-failover", "reconnect-churn", "mixed-profiles",
-		"broker-partition", "clock-skew", "quota-storm", "profiled-baseline")
+		"broker-partition", "clock-skew", "quota-storm", "snapshot-fork", "profiled-baseline")
 }

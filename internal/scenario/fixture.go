@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"github.com/cheriot-go/cheriot/internal/fleet"
@@ -163,6 +165,46 @@ func (ProfileCaptured) Check(res *fleet.Result) error {
 	}
 	if got := p.SelfSum(); got != p.TotalCycles {
 		return fmt.Errorf("profile self-cycle sum %d != attributed total %d", got, p.TotalCycles)
+	}
+	return nil
+}
+
+// ForkedEqualsCold asserts snapshot/fork boot is invisible to the
+// workload: the run must actually have forked devices from a template,
+// and re-running the same config with NoSnapshot (every device through
+// the full loader) must produce a byte-identical JSON summary. The
+// finished run's Result.Config carries the fully-defaulted
+// configuration, so the cold re-run is exactly the same fleet minus the
+// template cache.
+type ForkedEqualsCold struct{}
+
+func (ForkedEqualsCold) Name() string { return "forked-equals-cold" }
+
+func (ForkedEqualsCold) Check(res *fleet.Result) error {
+	st := res.Snapshot
+	if st == nil {
+		return fmt.Errorf("snapshot cache never armed — nothing forked")
+	}
+	if st.Forks == 0 {
+		return fmt.Errorf("snapshot cache armed but no device forked (%d templates, %d cold boots)",
+			st.Templates, st.ColdBoots)
+	}
+	cold := res.Config
+	cold.NoSnapshot = true
+	coldRes, err := fleet.Run(cold)
+	if err != nil {
+		return fmt.Errorf("cold-boot re-run: %w", err)
+	}
+	j1, err := json.Marshal(res.Summary)
+	if err != nil {
+		return fmt.Errorf("marshal forked summary: %w", err)
+	}
+	j2, err := json.Marshal(coldRes.Summary)
+	if err != nil {
+		return fmt.Errorf("marshal cold summary: %w", err)
+	}
+	if !bytes.Equal(j1, j2) {
+		return fmt.Errorf("forked summary diverges from cold boot:\nforked: %s\ncold:   %s", j1, j2)
 	}
 	return nil
 }

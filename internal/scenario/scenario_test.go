@@ -229,6 +229,31 @@ func TestProfiledCell(t *testing.T) {
 	}
 }
 
+// The ForkedEqualsCold fixture is the campaign-level fork ≡ cold proof:
+// a tiny forked cell passes (the cold re-run inside the fixture matches
+// byte for byte), and a cell forced to NoSnapshot fails the fixture
+// because nothing ever forked — the check cannot pass vacuously.
+func TestForkedEqualsColdCell(t *testing.T) {
+	if _, ok := Get("snapshot-fork"); !ok {
+		t.Fatal("snapshot-fork not registered")
+	}
+	fork := tinyScenario("t-fork", "crashes<=0", ForkedEqualsCold{})
+	rep := Run("fork", []Scenario{fork}, Options{Seeds: []uint64{1}})
+	if !rep.Pass {
+		t.Fatalf("forked cell failed: %+v", rep.Scenarios[0].Seeds[0])
+	}
+	cold := tinyScenario("t-cold", "crashes<=0", ForkedEqualsCold{})
+	cold.Flags.NoSnapshot = true
+	rep = Run("cold", []Scenario{cold}, Options{Seeds: []uint64{1}})
+	if rep.Pass {
+		t.Fatal("fixture passed on a NoSnapshot cell — fork evidence was never demanded")
+	}
+	sv := rep.Scenarios[0].Seeds[0]
+	if len(sv.Fixtures) == 0 || sv.Fixtures[0].OK {
+		t.Errorf("fixture failure not recorded: %+v", sv)
+	}
+}
+
 // A failing SLO rule or fixture fails its cell, its scenario, and the
 // suite — and the evidence is recorded in the verdict.
 func TestFailingVerdictPropagates(t *testing.T) {

@@ -62,10 +62,19 @@ go run ./cmd/cheriot-inspect fleet "$obsdir/summary.json" >/dev/null
 rm -rf "$obsdir"
 echo "ok"
 
+echo "== snapshot fork = cold boot (race) =="
+# The fork ≡ cold-boot identity under the race detector: template
+# capture/fork byte-identity, the concurrent template cache, and the
+# forked-fleet ≡ cold-fleet summary comparison.
+go test -race -count=1 -run 'Snapshot|Fork|Template|Heterogeneous' \
+	./internal/mem/ ./internal/snapshot/ ./internal/fleet/
+echo "ok"
+
 echo "== scenario campaign smoke suite (race) =="
-# The smoke suite (reconnect churn, clock skew, shard failover — small
-# fleets, 2 seeds) judged by SLO rules and fixtures; any failed
-# scenario×seed verdict exits non-zero and fails the check.
+# The smoke suite (reconnect churn, clock skew, shard failover, and the
+# snapshot-fork ≡ cold-boot campaign — small fleets, 2 seeds) judged by
+# SLO rules and fixtures; any failed scenario×seed verdict exits
+# non-zero and fails the check.
 go run -race ./cmd/cheriot-campaign run smoke -seeds 2 -par 4 >/dev/null
 echo "ok"
 
