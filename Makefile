@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check trace fleet fleet-shard fleetobs campaign inspect prof snapshot
+.PHONY: build test bench check trace fleet fleet-shard fleetobs campaign inspect prof snapshot ota
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,17 @@ campaign:
 snapshot:
 	$(GO) run ./cmd/cheriot-fleet -devices 1000 -duration 2s -hostprof -no-snapshot
 	$(GO) run ./cmd/cheriot-fleet -devices 1000 -duration 2s -hostprof
+
+# Staged OTA rollout demo: 48 devices, 2%→10%→50%→100% canary rings
+# offered over MQTT from 14s, each widening health-gated on the updated
+# cohort's trailing bake window; swaps fork from the new shape's
+# snapshot template (watch the "snapshot boot:" line stay at 2 cold
+# boots). Run the poisoned variant with
+#   go run ./cmd/cheriot-fleet ... -rollout-poison
+# to watch the crash threshold trip and the fleet auto-roll-back.
+ota:
+	$(GO) run ./cmd/cheriot-fleet -devices 48 -shards 2 -duration 72s \
+		-rollout 14s -rollout-rings 2,10,50,100 -rollout-bringup 12s -rollout-bake 2s
 
 # Flight-recorder demo: a use-after-free caught by the black box, with
 # its capability-provenance chain.

@@ -17,6 +17,8 @@
 //	cheriot-fleet -devices 16 -prof -prof-out prof.json  # cycle profiler
 //	cheriot-fleet -devices 64 -hostprof                  # host phase split
 //	cheriot-fleet -devices 10000 -no-snapshot            # cold-boot every device
+//	cheriot-fleet -devices 48 -rollout 14s -rollout-rings 1,10,50,100  # staged OTA
+//	cheriot-fleet -devices 48 -rollout 14s -rollout-poison             # ...that must roll back
 //
 // Durations are simulated time (33 MHz device clocks). The JSON summary on
 // stdout is deterministic for a given config+seed; wall-clock timings go
@@ -252,6 +254,37 @@ func main() {
 	if s.CrashReports > 0 || cfg.FlightRecorder > 0 {
 		fmt.Printf("crash reports: %d on %d devices, %d micro-reboots\n",
 			s.CrashReports, s.CrashDevices, s.Reboots)
+	}
+	if ro := s.Rollout; ro != nil {
+		sec := func(cycle uint64) float64 { return float64(cycle) / float64(hw.DefaultHz) }
+		state := ro.Terminal
+		if state == "" {
+			state = ro.State + " at horizon"
+		}
+		fmt.Printf("rollout %s: %s — %d on new firmware, %d on old (%d updated, %d rolled back)\n",
+			ro.NewFirmware, state, ro.OnNew, ro.OnOld, ro.Updated, ro.RolledBack)
+		fmt.Printf("  offers: %d delivered, %d missed; cohort crashes %d (threshold %d)\n",
+			ro.OffersDelivered, ro.OffersMissed, ro.CohortCrashes, ro.CrashThreshold)
+		for _, ring := range ro.Rings {
+			line := fmt.Sprintf("  ring %d (%3g%%, %d devices):", ring.Ring, ring.Percent, ring.Devices)
+			if ring.OfferedAtCycle > 0 {
+				line += fmt.Sprintf(" offered %.0fs", sec(ring.OfferedAtCycle))
+			} else {
+				line += " never offered"
+			}
+			if ring.AdvancedAtCycle > 0 {
+				line += fmt.Sprintf(", advanced %.0fs", sec(ring.AdvancedAtCycle))
+			} else if ring.Verdict != nil && !ring.Verdict.Pass {
+				line += ", bake gate held"
+			}
+			fmt.Println(line)
+		}
+		switch {
+		case ro.CompleteAtCycle > 0:
+			fmt.Printf("  complete at %.0fs\n", sec(ro.CompleteAtCycle))
+		case ro.RollbackAtCycle > 0:
+			fmt.Printf("  rolled back at %.0fs\n", sec(ro.RollbackAtCycle))
+		}
 	}
 	// The availability curve renders for every run long enough to have
 	// one: failover, churn, and partition campaigns need it as much as

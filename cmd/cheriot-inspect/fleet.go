@@ -5,9 +5,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/cheriot-go/cheriot/internal/fleet"
 	"github.com/cheriot-go/cheriot/internal/fleetobs"
+	"github.com/cheriot-go/cheriot/internal/hw"
 )
 
 // fleetMain implements `cheriot-inspect fleet`: it reads fleet Summary
@@ -69,6 +71,7 @@ func printFleetObs(path string, s *fleet.Summary, rules []fleetobs.Rule, healthA
 	}
 	fmt.Printf("%s: %d devices, %d cloud shards, %s, seed %d, %.0f sim-seconds\n",
 		path, s.Devices, s.CloudShards, mode, s.Seed, s.SimSeconds)
+	printRollout(s)
 	o := s.Obs
 	if o == nil {
 		fmt.Println("  no observability report (run cheriot-fleet with -obs)")
@@ -114,6 +117,66 @@ func printFleetObs(path string, s *fleet.Summary, rules []fleetobs.Rule, healthA
 		fmt.Println("    verdict: FAIL")
 	}
 	return !verdict.Pass
+}
+
+// printRollout renders the staged-OTA rollout block as a timeline:
+// every ring offer, every bake-gate pass with its verdict, and the
+// terminal completion or auto-rollback, in simulated-clock order.
+func printRollout(s *fleet.Summary) {
+	ro := s.Rollout
+	if ro == nil {
+		return
+	}
+	sec := func(c uint64) float64 { return float64(c) / float64(hw.DefaultHz) }
+	state := ro.Terminal
+	if state == "" {
+		state = ro.State + " at horizon"
+	}
+	fmt.Printf("  rollout %s: %s — %d on new firmware, %d on old; %d updated, %d rolled back; crashes %d (threshold %d); offers %d delivered, %d missed\n",
+		ro.NewFirmware, state, ro.OnNew, ro.OnOld, ro.Updated, ro.RolledBack,
+		ro.CohortCrashes, ro.CrashThreshold, ro.OffersDelivered, ro.OffersMissed)
+	type event struct {
+		at   uint64
+		text string
+	}
+	var evs []event
+	for _, r := range ro.Rings {
+		if r.OfferedAtCycle > 0 {
+			evs = append(evs, event{r.OfferedAtCycle,
+				fmt.Sprintf("ring %d (%g%%) offered — updated cohort now %d devices", r.Ring, r.Percent, r.Devices)})
+		}
+		switch {
+		case r.AdvancedAtCycle > 0:
+			text := fmt.Sprintf("ring %d bake gate passed", r.Ring)
+			if r.Verdict != nil && len(r.Verdict.Rules) > 0 {
+				rr := r.Verdict.Rules[0]
+				text += fmt.Sprintf(" (%s, actual %.3g)", rr.Rule, rr.Actual)
+			}
+			evs = append(evs, event{r.AdvancedAtCycle, text})
+		case r.OfferedAtCycle > 0 && r.Verdict != nil && !r.Verdict.Pass:
+			evs = append(evs, event{r.OfferedAtCycle,
+				fmt.Sprintf("ring %d bake gate holding at last checkpoint", r.Ring)})
+		}
+	}
+	if ro.RollbackAtCycle > 0 {
+		evs = append(evs, event{ro.RollbackAtCycle,
+			fmt.Sprintf("AUTO-ROLLBACK: %d cohort crashes exceeded threshold %d — %d devices micro-rebooted to old firmware",
+				ro.CohortCrashes, ro.CrashThreshold, ro.RolledBack)})
+	}
+	if ro.CompleteAtCycle > 0 {
+		evs = append(evs, event{ro.CompleteAtCycle, "rollout complete: whole fleet on new firmware"})
+	}
+	if len(evs) == 0 {
+		return
+	}
+	// Stable by cycle: a gate pass and the next ring's offer share a
+	// checkpoint, and insertion order (pass before offer) is the causal
+	// order.
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	fmt.Println("  rollout timeline:")
+	for _, e := range evs {
+		fmt.Printf("    %6.1fs  %s\n", sec(e.at), e.text)
+	}
 }
 
 // printHealth renders the per-second series as a table. Unless asked

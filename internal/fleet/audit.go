@@ -81,9 +81,12 @@ func representativeImage(cfg Config, fw string) *firmware.Image {
 		NTPServer:  NTPIP,
 		RootSecret: RootSecret,
 	})
-	if fw == FirmwareJS {
+	switch fw {
+	case FirmwareJS:
 		d.addJSApp(img)
-	} else {
+	case FirmwareGo + otaAliasSuffix:
+		d.addOTAApp(img)
+	default:
 		d.addApp(img)
 	}
 	return img
@@ -107,6 +110,12 @@ func firmwareShapes(cfg Config) []string {
 	}
 	if hasJS {
 		out = append(out, FirmwareJS)
+	}
+	if cfg.Rollout != nil {
+		// A staged rollout deploys a second shape — the fleet app plus
+		// the update-agent compartment — which must pass the same
+		// pre-launch audit before any device is offered it.
+		out = append(out, FirmwareGo+otaAliasSuffix)
 	}
 	return out
 }

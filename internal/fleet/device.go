@@ -8,6 +8,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/api"
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/cloud"
+	"github.com/cheriot-go/cheriot/internal/compartment"
 	"github.com/cheriot-go/cheriot/internal/core"
 	"github.com/cheriot-go/cheriot/internal/firmware"
 	"github.com/cheriot-go/cheriot/internal/fleetobs"
@@ -115,9 +116,33 @@ type Device struct {
 	// is host-path detail (like the wall timings), never Summary material.
 	Forked bool
 
+	// OTA rollout state (see internal/ota and rollout.go). OnNewFirmware
+	// marks a device currently running the updated image; UpdatedAtCycle
+	// is when it micro-rebooted into it; RolledBack marks devices the
+	// auto-rollback returned to the old image.
+	OnNewFirmware  bool
+	RolledBack     bool
+	UpdatedAtCycle uint64
+
 	cfg     *Config
 	rng     *rng
 	arrival uint64 // cycles to wait before starting setup
+
+	// incarnation counts firmware swaps (0 = the boot image); updReb is
+	// the update-agent compartment's micro-reboot driver when the device
+	// runs the updated image. The retired* accumulators fold each
+	// retired incarnation's instruments into the device's lifetime
+	// totals when a swap shuts its System down.
+	incarnation    int
+	updReb         *compartment.Rebooter
+	retiredSnaps   []telemetry.Snapshot
+	retiredProfs   []*prof.Profile
+	retiredRecs    []*flightrec.Recorder
+	retiredFrom    uint64 // World frame counters of retired incarnations
+	retiredTo      uint64
+	retiredDrops   uint64
+	retiredReboots int
+	retiredBroken  bool // a retired incarnation failed a cycle invariant
 
 	// Host-profiling pump sampling (Config.HostProf): timing every inbox
 	// pump would distort the very cost it measures, so runSlice times one
@@ -164,21 +189,7 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 		})
 	}
 
-	img := core.NewImage(fmt.Sprintf("fleet-%05d", i))
-	stack := netstack.AddTo(img, netstack.Config{
-		DeviceIP:   d.IP,
-		UseDHCP:    true,
-		GatewayIP:  GatewayIP,
-		DNSServer:  DNSIP,
-		NTPServer:  NTPIP,
-		RootSecret: RootSecret,
-		Obs:        d.Obs,
-	})
-	if d.Profile.Firmware == FirmwareJS {
-		d.addJSApp(img)
-	} else {
-		d.addApp(img)
-	}
+	img, stack := d.buildImage(false)
 
 	// Skip the per-device audit report: devices share a handful of
 	// firmware shapes; audit one representative per shape instead. With
@@ -242,37 +253,82 @@ func buildDevice(cfg *Config, cl *Cloud, schedule []cloud.Event, i int) (*Device
 			d.World.InjectRaw(d.World.PingOfDeath(spoof))
 		})
 	}
-	if len(schedule) > 0 && cl.Plane != nil {
-		// Expand the cloud event schedule onto this device's own event
-		// queue; the hooks run on the device goroutine, so DeviceStats
-		// stays single-writer.
-		homeShard := cl.Plane.HomeShard(i)
-		cloud.InstallOnDevice(sys.Board.Core, cl.Plane, i, d.IP, schedule,
-			func(ev cloud.Event, ok bool) {
-				if ok && ev.TraceID != 0 {
-					// The hook runs on this device's goroutine at its own
-					// clock: the cloud→device delivery hop is recorded here.
-					d.Obs.CloudDeliverSpan(ev.TraceID, homeShard, d.World.Now())
-				}
-				switch ev.Kind {
-				case cloud.EventFanout:
-					if ok {
-						d.Stats.FanoutDelivered++
-					} else {
-						d.Stats.FanoutMissed++
-					}
-				case cloud.EventCommand:
-					if ok {
-						d.Stats.CommandsDelivered++
-					}
-				case cloud.EventFailover:
-					if ok {
-						d.Stats.FailoverKicks++
-					}
-				}
-			})
-	}
+	d.installCloudSchedule(cl, schedule, 0)
 	return d, nil
+}
+
+// installCloudSchedule expands the cloud event schedule onto this
+// device's own event queue; the hooks run on the device goroutine, so
+// DeviceStats stays single-writer. Events at or before `after` are
+// skipped: a firmware swap re-installs the schedule on the replacement
+// incarnation's core, and events the retired incarnation already fired
+// must not fire twice.
+func (d *Device) installCloudSchedule(cl *Cloud, schedule []cloud.Event, after uint64) {
+	if len(schedule) == 0 || cl.Plane == nil {
+		return
+	}
+	if after > 0 {
+		future := make([]cloud.Event, 0, len(schedule))
+		for _, ev := range schedule {
+			if ev.At > after {
+				future = append(future, ev)
+			}
+		}
+		schedule = future
+	}
+	homeShard := cl.Plane.HomeShard(d.Index)
+	cloud.InstallOnDevice(d.Sys.Board.Core, cl.Plane, d.Index, d.IP, schedule,
+		func(ev cloud.Event, ok bool) {
+			if ok && ev.TraceID != 0 {
+				// The hook runs on this device's goroutine at its own
+				// clock: the cloud→device delivery hop is recorded here.
+				d.Obs.CloudDeliverSpan(ev.TraceID, homeShard, d.World.Now())
+			}
+			switch ev.Kind {
+			case cloud.EventFanout:
+				if ok {
+					d.Stats.FanoutDelivered++
+				} else {
+					d.Stats.FanoutMissed++
+				}
+			case cloud.EventCommand:
+				if ok {
+					d.Stats.CommandsDelivered++
+				}
+			case cloud.EventFailover:
+				if ok {
+					d.Stats.FailoverKicks++
+				}
+			}
+		})
+}
+
+// buildImage assembles the device's firmware image: the full netstack
+// plus the application compartment, and — for the OTA-updated shape —
+// the update-agent compartment. Every incarnation of a device calls
+// this (buildDevice for the boot image, the rollout's swap for the
+// updated and rolled-back images), so closures always bind the current
+// Device fields.
+func (d *Device) buildImage(withOTA bool) (*firmware.Image, *netstack.Stack) {
+	img := core.NewImage(fmt.Sprintf("fleet-%05d", d.Index))
+	stack := netstack.AddTo(img, netstack.Config{
+		DeviceIP:   d.IP,
+		UseDHCP:    true,
+		GatewayIP:  GatewayIP,
+		DNSServer:  DNSIP,
+		NTPServer:  NTPIP,
+		RootSecret: RootSecret,
+		Obs:        d.Obs,
+	})
+	switch {
+	case d.Profile.Firmware == FirmwareJS:
+		d.addJSApp(img)
+	case withOTA:
+		d.addOTAApp(img)
+	default:
+		d.addApp(img)
+	}
+	return img, stack
 }
 
 // runSlice advances the device to toCycle (or a little past it: the
@@ -326,6 +382,101 @@ func (d *Device) addApp(img *firmware.Image) {
 		Priority: 3, StackSize: 32 * 1024, TrustedStackFrames: 24})
 }
 
+// otaCompartment is the update-agent compartment that only the OTA
+// rollout's updated firmware image carries; adding it changes the
+// image's shape key, so the updated fleet forks from its own snapshot
+// template. otaEntryPoke is its single export: a per-publish
+// self-check the fleet app calls.
+const (
+	otaCompartment = "otaupd"
+	otaEntryPoke   = "poke"
+)
+
+// addOTAApp registers the updated firmware's application: the same
+// fleet app plus the update-agent compartment, with the app importing
+// the agent's poke entry.
+func (d *Device) addOTAApp(img *firmware.Image) {
+	d.addUpdateAgent(img)
+	imports := append(fleetAppImports(d.cfg.quotaStormCycles() > 0),
+		firmware.Import{Kind: firmware.ImportCall, Target: otaCompartment, Entry: otaEntryPoke})
+	img.AddCompartment(&firmware.Compartment{
+		Name: "fleetapp", CodeSize: 3000, DataSize: 256,
+		AllocCaps: []firmware.AllocCap{{Name: "default", Quota: 16384}},
+		Imports:   imports,
+		Exports:   []*firmware.Export{{Name: "main", MinStack: 8192, Entry: d.appMainOTA}},
+	})
+	img.AddThread(&firmware.Thread{Name: "app", Compartment: "fleetapp", Entry: "main",
+		Priority: 3, StackSize: 32 * 1024, TrustedStackFrames: 24})
+}
+
+// addUpdateAgent adds the update-agent compartment: no quota, no
+// netstack access (so the fleet policy still passes), one poke export,
+// and its own micro-reboot error handler. A poisoned rollout image
+// makes poke store out of bounds: the trap raises a flight-recorder
+// crash report, the handler micro-reboots the agent, and the calling
+// publish loop sees an unwound call — compartment isolation keeps the
+// bad update from taking the device down.
+func (d *Device) addUpdateAgent(img *firmware.Image) {
+	poisoned := d.cfg.Rollout != nil && d.cfg.Rollout.Poisoned
+	reb := &compartment.Rebooter{Compartment: otaCompartment}
+	d.updReb = reb
+	img.AddCompartment(&firmware.Compartment{
+		Name: otaCompartment, CodeSize: 900, DataSize: 64,
+		Exports: []*firmware.Export{{Name: otaEntryPoke, MinStack: 512,
+			Entry: func(ctx api.Context, args []api.Value) []api.Value {
+				if poisoned {
+					g := ctx.Globals()
+					ctx.Store32(g.WithAddress(g.Top()+64), 0xbad) // out of bounds: traps
+				}
+				ctx.Work(500)
+				return api.EV(api.OK)
+			}}},
+		ErrorHandler: reb.Handler(nil),
+	})
+}
+
+// appMainOTA is the updated image's app entry: the same driver loop
+// with the per-publish update-agent poke armed.
+func (d *Device) appMainOTA(ctx api.Context, args []api.Value) []api.Value {
+	a := newAppDriver(d, ctx)
+	a.pokeOTA = true
+	if !a.setup() {
+		return a.park()
+	}
+	if !a.connect() {
+		a.st.SetupFailures++
+		return a.park()
+	}
+	for a.tick() {
+	}
+	return a.park()
+}
+
+// crashReports returns every flight-recorder crash report the device
+// produced across all incarnations, retired ones first.
+func (d *Device) crashReports() []flightrec.Report {
+	var out []flightrec.Report
+	for _, r := range d.retiredRecs {
+		out = append(out, r.Reports()...)
+	}
+	if d.Rec != nil {
+		out = append(out, d.Rec.Reports()...)
+	}
+	return out
+}
+
+// crashTotal is the lifetime crash-report count across incarnations.
+func (d *Device) crashTotal() uint64 {
+	var n uint64
+	for _, r := range d.retiredRecs {
+		n += r.ReportsTotal()
+	}
+	if d.Rec != nil {
+		n += d.Rec.ReportsTotal()
+	}
+	return n
+}
+
 // fleetAppImports is the app compartment's import set: DNS, SNTP, MQTT,
 // the scheduler, and network bring-up — and nothing else, which is what
 // the fleet audit policy pins down. The quota-exhaustion storm adds the
@@ -371,6 +522,9 @@ type appDriver struct {
 	interval   uint64
 	published  uint64
 	stormDone  bool
+	// pokeOTA arms the per-publish update-agent self-check (only the
+	// OTA-updated firmware image sets it).
+	pokeOTA bool
 
 	topicView   cap.Capability
 	payloadView cap.Capability
@@ -564,6 +718,12 @@ func (a *appDriver) tick() bool {
 		st.PublishLatency = append(st.PublishLatency, lat)
 		a.pubHist.Observe(lat)
 		a.markPublishSecond()
+		if a.pokeOTA {
+			// The update agent's self-check; a poisoned agent traps, is
+			// micro-rebooted by its own handler, and the call unwinds —
+			// the publish loop tolerates the error and carries on.
+			_, _ = ctx.Call(otaCompartment, otaEntryPoke)
+		}
 		if d.cfg.fanoutEnabled() {
 			a.drain()
 		}

@@ -42,6 +42,7 @@ import (
 	"github.com/cheriot-go/cheriot/internal/cloud"
 	"github.com/cheriot-go/cheriot/internal/fleetobs"
 	"github.com/cheriot-go/cheriot/internal/hw"
+	"github.com/cheriot-go/cheriot/internal/ota"
 	"github.com/cheriot-go/cheriot/internal/prof"
 	"github.com/cheriot-go/cheriot/internal/snapshot"
 	"github.com/cheriot-go/cheriot/internal/telemetry"
@@ -174,6 +175,20 @@ type Config struct {
 	// the deterministic Summary.
 	HostProf bool
 
+	// Rollout, when non-nil, arms the staged OTA firmware rollout
+	// (internal/ota): at Plan.StartAt the cloud offers a new firmware
+	// image — the fleet app plus an update-agent compartment, audited
+	// against FleetPolicy like every other shape — to a seeded canary
+	// ring; offered devices micro-reboot into it by forking the new
+	// shape's snapshot template. The rollout widens ring-by-ring while
+	// the updated cohort's health holds over the plan's bake window and
+	// auto-rolls-back when cohort crash reports exceed the plan's
+	// threshold. All decisions run on the simulated clock at checkpoint
+	// barriers, so lockstep ≡ parallel still holds byte-identically.
+	// Requires snapshot/fork boot and the sharded cloud control plane;
+	// JS-firmware profiles cannot take a rollout.
+	Rollout *ota.Plan
+
 	// NoSnapshot disables snapshot/fork boot (the -no-snapshot escape
 	// hatch): every device cold-boots through the full linker + loader
 	// path. By default the fleet boots one template device per firmware
@@ -277,6 +292,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FanoutBytes > 512 {
 		c.FanoutBytes = 512
+	}
+	if c.Rollout != nil {
+		p := c.Rollout.WithDefaults()
+		c.Rollout = &p
+		if c.FlightRecorder <= 0 {
+			// The rollback trigger is flight-recorder crash reports in
+			// the updated cohort; a rollout without recorders is blind.
+			c.FlightRecorder = 256
+		}
 	}
 	for i := range c.Profiles {
 		p := &c.Profiles[i]
@@ -519,6 +543,13 @@ type Summary struct {
 	// AttributedCycles.
 	CycleSumExact bool `json:"cycle_sum_exact"`
 
+	// Rollout is the staged OTA rollout's final state (nil unless
+	// Config.Rollout): the ring/bake/rollback state machine with
+	// per-ring offer/advance cycle timestamps, the final firmware
+	// split, and the cohort crash accounting. Every field is simulated-
+	// clock data, so it is part of the deterministic surface.
+	Rollout *ota.Status `json:"rollout,omitempty"`
+
 	// Obs is the observability report — traced publish→deliver latency
 	// per shard and per profile, the per-second health series, and the
 	// SLO verdict. Nil unless Config.Obs. Fully deterministic.
@@ -607,15 +638,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	// Snapshot/fork boot: one template per firmware shape, forked into
-	// every further device. Pointless for a single device; -no-snapshot
+	// every further device. Pointless for a single device — unless a
+	// rollout is armed, whose swaps fork from templates; -no-snapshot
 	// forces the full loader path per device.
 	cfg.snapCache = nil
-	if cfg.Devices > 1 && !cfg.NoSnapshot {
+	if (cfg.Devices > 1 || cfg.Rollout != nil) && !cfg.NoSnapshot {
 		cfg.snapCache = snapshot.NewCache()
 	}
 	cl := newCloud(&cfg)
 	schedule := cfg.cloudSchedule()
 	horizon := cfg.horizonCycles()
+	var rollout *rolloutRuntime
+	if cfg.Rollout != nil {
+		rollout, err = newRolloutRuntime(&cfg, cl, schedule)
+		if err != nil {
+			return nil, err
+		}
+	}
 	devices := make([]*Device, cfg.Devices)
 	buildErrs := make([]error, cfg.Shards)
 
@@ -676,30 +715,55 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Run phase: round-robin each shard's devices in bounded quanta until
-	// every device reaches the horizon.
+	// every device reaches the horizon. An armed rollout segments the
+	// run at its checkpoint cycles: all shards join at the barrier, the
+	// controller observes and decides (possibly swapping firmware on
+	// some devices) single-threaded, and the shards resume — the same
+	// device-cycle points in every run mode, which is what keeps
+	// rollout decisions inside the lockstep ≡ parallel guarantee.
 	runStart := time.Now()
-	for s := 0; s < cfg.Shards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			t0 := time.Now()
-			runShard(devices, shardIndices[s], horizon)
-			if hp != nil {
-				// The pump estimate is part of the step wall, broken out so
-				// the split shows where the step loop's time goes.
-				var pump time.Duration
-				var pumps uint64
-				for _, i := range shardIndices[s] {
-					pump += devices[i].pumpEstimate()
-					pumps += devices[i].pumpCount
-				}
-				hp.Add("step", time.Since(t0), 1)
-				hp.Add("pump", pump, pumps)
-			}
-		}(s)
+	var boundaries []uint64
+	if rollout != nil {
+		boundaries = append(boundaries, rollout.checkpoints...)
 	}
-	wg.Wait()
+	boundaries = append(boundaries, horizon)
+	var rolloutErr error
+	for _, bound := range boundaries {
+		bound := bound
+		for s := 0; s < cfg.Shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				t0 := time.Now()
+				runShard(devices, shardIndices[s], bound)
+				hp.Add("step", time.Since(t0), 1)
+			}(s)
+		}
+		wg.Wait()
+		if rollout != nil && bound < horizon {
+			if err := rollout.step(devices, bound); err != nil {
+				rolloutErr = err
+				break
+			}
+		}
+	}
+	if hp != nil {
+		// The pump estimate is part of the step wall, broken out so
+		// the split shows where the step loop's time goes.
+		for s := 0; s < cfg.Shards; s++ {
+			var pump time.Duration
+			var pumps uint64
+			for _, i := range shardIndices[s] {
+				pump += devices[i].pumpEstimate()
+				pumps += devices[i].pumpCount
+			}
+			hp.Add("pump", pump, pumps)
+		}
+	}
 	runWall := time.Since(runStart)
+	if rolloutErr != nil {
+		return nil, rolloutErr
+	}
 
 	for _, d := range devices {
 		d.Sys.Shutdown()
@@ -711,7 +775,7 @@ func Run(cfg Config) (*Result, error) {
 	mergeStart := time.Now()
 	spans := collectSpans(devices)
 	res := &Result{
-		Summary:  summarize(cfg, cl, devices, sloRules, spans),
+		Summary:  summarize(cfg, cl, devices, sloRules, spans, rollout),
 		Devices:  devices,
 		BootWall: bootWall,
 		RunWall:  runWall,
@@ -752,6 +816,11 @@ func collectSpans(devices []*Device) []fleetobs.Span {
 func runShard(devices []*Device, indices []int, horizon uint64) {
 	active := make([]*Device, 0, len(indices))
 	for _, i := range indices {
+		// A rollout-segmented run re-enters here once per segment; a
+		// device that already failed stays down.
+		if devices[i].Err != nil {
+			continue
+		}
 		active = append(active, devices[i])
 	}
 	for len(active) > 0 {
@@ -778,7 +847,7 @@ func runShard(devices []*Device, indices []int, horizon uint64) {
 // telemetry snapshot with the fleet-wide cycle-attribution invariant
 // check.
 func summarize(cfg Config, cl *Cloud, devices []*Device,
-	sloRules []fleetobs.Rule, spans []fleetobs.Span) Summary {
+	sloRules []fleetobs.Rule, spans []fleetobs.Span, rollout *rolloutRuntime) Summary {
 	s := Summary{
 		Devices:        cfg.Devices,
 		Shards:         cfg.Shards,
@@ -842,6 +911,14 @@ func summarize(cfg Config, cl *Cloud, devices []*Device,
 			ps.Publishes += st.Publishes
 		}
 
+		// A device that swapped firmware mid-run (OTA rollout) carries
+		// its retired incarnations' instruments in the retired*
+		// accumulators; the invariants below were checked per retired
+		// incarnation at swap time (retiredBroken folds them in).
+		if d.retiredBroken {
+			exact = false
+		}
+		snaps = append(snaps, d.retiredSnaps...)
 		snap := d.Tel.Snapshot()
 		if snap.BaseCycles+snap.AttributedCycles != d.Sys.Cycles() {
 			exact = false
@@ -852,6 +929,7 @@ func summarize(cfg Config, cl *Cloud, devices []*Device,
 			// Snapshot in index order; Merge sorts frames, so the merged
 			// profile is identical whatever partition ran the devices. The
 			// per-device exactness check folds into CycleSumExact.
+			deviceProfiles = append(deviceProfiles, d.retiredProfs...)
 			pp := d.Prof.Snapshot()
 			if pp == nil || pp.BaseCycles+pp.TotalCycles != d.Sys.Cycles() ||
 				pp.SelfSum() != pp.TotalCycles {
@@ -860,19 +938,26 @@ func summarize(cfg Config, cl *Cloud, devices []*Device,
 			deviceProfiles = append(deviceProfiles, pp)
 		}
 
-		s.FramesFromDevices += d.World.FramesFromDevice
-		s.FramesToDevices += d.World.FramesToDevice
-		s.FramesDropped += d.World.Dropped
+		s.FramesFromDevices += d.World.FramesFromDevice + d.retiredFrom
+		s.FramesToDevices += d.World.FramesToDevice + d.retiredTo
+		s.FramesDropped += d.World.Dropped + d.retiredDrops
 
-		if d.Rec != nil && d.Rec.ReportsTotal() > 0 {
-			s.CrashReports += d.Rec.ReportsTotal()
+		if total := d.crashTotal(); total > 0 {
+			s.CrashReports += total
 			s.CrashDevices++
 		}
+		s.Reboots += d.retiredReboots
 		if d.Stack != nil {
 			s.Reboots += d.Stack.TCPIPRebooter.Reboots
 		}
+		if d.updReb != nil {
+			s.Reboots += d.updReb.Reboots
+		}
 	}
 	s.AvailabilityPerSecond = availability
+	if rollout != nil {
+		s.Rollout = rollout.rolloutStatus(devices)
+	}
 	if victim := cfg.partitionShard(); victim >= 0 {
 		from, until := cfg.partitionWindow()
 		info := &PartitionInfo{
@@ -935,14 +1020,12 @@ func summarize(cfg Config, cl *Cloud, devices []*Device,
 				}
 				in.DropSeconds[sec] += n
 			}
-			if d.Rec != nil {
-				for _, rep := range d.Rec.Reports() {
-					sec := int(rep.Cycle / hw.DefaultHz)
-					for len(in.CrashSeconds) <= sec {
-						in.CrashSeconds = append(in.CrashSeconds, 0)
-					}
-					in.CrashSeconds[sec]++
+			for _, rep := range d.crashReports() {
+				sec := int(rep.Cycle / hw.DefaultHz)
+				for len(in.CrashSeconds) <= sec {
+					in.CrashSeconds = append(in.CrashSeconds, 0)
 				}
+				in.CrashSeconds[sec]++
 			}
 		}
 		profOf := make([]string, len(devices))

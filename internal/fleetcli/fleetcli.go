@@ -10,9 +10,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/cheriot-go/cheriot/internal/fleet"
+	"github.com/cheriot-go/cheriot/internal/ota"
 )
 
 // Options mirrors cheriot-fleet's fleet-shaping flags, one field per
@@ -51,6 +55,17 @@ type Options struct {
 	Prof         bool          // -prof: cycle-exact compartment profiler
 	HostProf     bool          // -hostprof: host wall-clock phase split
 	NoSnapshot   bool          // -no-snapshot: cold-boot every device
+
+	// Staged OTA rollout (internal/ota). Rollout arms it; the companion
+	// -rollout-* flags refine the plan and are rejected without it.
+	Rollout         time.Duration // -rollout: first canary offer time (0: off)
+	RolloutRings    string        // -rollout-rings: e.g. "1,10,50,100"
+	RolloutCheck    time.Duration // -rollout-check: controller checkpoint period
+	RolloutBringUp  time.Duration // -rollout-bringup: reboot+reconnect allowance
+	RolloutBake     time.Duration // -rollout-bake: trailing health window
+	RolloutSLO      string        // -rollout-slo: availability rules gating rings
+	RolloutCrashMax int           // -rollout-crash-max: rollback threshold
+	RolloutPoison   bool          // -rollout-poison: ship a deliberately crashy image
 }
 
 // Default returns the cheriot-fleet flag defaults.
@@ -104,15 +119,75 @@ func (o *Options) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Prof, "prof", o.Prof, "cycle-exact compartment profiler (folded call stacks in the summary)")
 	fs.BoolVar(&o.HostProf, "hostprof", o.HostProf, "time the runner's host wall-clock phases (boot/step/pump/merge)")
 	fs.BoolVar(&o.NoSnapshot, "no-snapshot", o.NoSnapshot, "disable snapshot/fork boot: run the full loader for every device instead of forking from a per-shape template")
+	fs.DurationVar(&o.Rollout, "rollout", o.Rollout, "stage an OTA firmware rollout: first canary offer at this simulated time (0: off)")
+	fs.StringVar(&o.RolloutRings, "rollout-rings", o.RolloutRings, "rollout rings as cumulative fleet percentages, e.g. '1,10,50,100' (default from plan)")
+	fs.DurationVar(&o.RolloutCheck, "rollout-check", o.RolloutCheck, "rollout controller checkpoint period (default 1s)")
+	fs.DurationVar(&o.RolloutBringUp, "rollout-bringup", o.RolloutBringUp, "time an offered ring gets to micro-reboot and reconnect before its bake window (default 12s)")
+	fs.DurationVar(&o.RolloutBake, "rollout-bake", o.RolloutBake, "trailing health window a ring must satisfy before the rollout widens (default 3s)")
+	fs.StringVar(&o.RolloutSLO, "rollout-slo", o.RolloutSLO, "availability rules gating ring widening, e.g. 'availability>=0.5' (default)")
+	fs.IntVar(&o.RolloutCrashMax, "rollout-crash-max", o.RolloutCrashMax, "roll back once updated-cohort crash reports exceed this (default 2)")
+	fs.BoolVar(&o.RolloutPoison, "rollout-poison", o.RolloutPoison, "ship a deliberately crashy update image (exercises auto-rollback)")
 }
 
 // Config builds the fleet configuration, parsing the profile spec and
 // resolving the SLO-implies-Obs convention. This is the single code
 // path behind both the CLI and registered scenarios.
+//
+// Contradictory flag combinations are rejected with ONE error listing
+// every bad flag, so a long invocation is fixed in one edit, not one
+// rejection at a time.
 func (o Options) Config() (fleet.Config, error) {
 	profiles, err := fleet.ParseProfiles(o.Profiles)
 	if err != nil {
 		return fleet.Config{}, fmt.Errorf("profiles: %w", err)
+	}
+	var bad []string
+	if o.Failover > 0 && o.CloudShards < 2 {
+		bad = append(bad, fmt.Sprintf("-failover fails one of several broker shards, but -shards is %d", o.CloudShards))
+	}
+	var rollout *ota.Plan
+	if o.Rollout > 0 {
+		if o.NoSnapshot {
+			bad = append(bad, "-no-snapshot disables the snapshot templates the -rollout firmware swaps fork from")
+		}
+		for _, p := range profiles {
+			if p.Firmware == fleet.FirmwareJS {
+				bad = append(bad, fmt.Sprintf("-rollout updates the %s firmware only, but -profiles deploys %s devices", fleet.FirmwareGo, fleet.FirmwareJS))
+				break
+			}
+		}
+		rings, rerr := parseRings(o.RolloutRings)
+		if rerr != nil {
+			bad = append(bad, "-rollout-rings: "+rerr.Error())
+		}
+		rollout = &ota.Plan{
+			StartAt:        o.Rollout,
+			CheckEvery:     o.RolloutCheck,
+			Rings:          rings,
+			BringUp:        o.RolloutBringUp,
+			Bake:           o.RolloutBake,
+			HealthSLO:      o.RolloutSLO,
+			CrashThreshold: o.RolloutCrashMax,
+			Poisoned:       o.RolloutPoison,
+		}
+	} else {
+		for flagName, set := range map[string]bool{
+			"-rollout-rings":     o.RolloutRings != "",
+			"-rollout-check":     o.RolloutCheck != 0,
+			"-rollout-bringup":   o.RolloutBringUp != 0,
+			"-rollout-bake":      o.RolloutBake != 0,
+			"-rollout-slo":       o.RolloutSLO != "",
+			"-rollout-crash-max": o.RolloutCrashMax != 0,
+			"-rollout-poison":    o.RolloutPoison,
+		} {
+			if set {
+				bad = append(bad, flagName+" without -rollout")
+			}
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		return fleet.Config{}, fmt.Errorf("contradictory flags: %s", strings.Join(bad, "; "))
 	}
 	return fleet.Config{
 		Devices:        o.Devices,
@@ -147,7 +222,26 @@ func (o Options) Config() (fleet.Config, error) {
 		Prof:           o.Prof,
 		HostProf:       o.HostProf,
 		NoSnapshot:     o.NoSnapshot,
+		Rollout:        rollout,
 	}, nil
+}
+
+// parseRings parses the -rollout-rings spec: comma-separated cumulative
+// fleet percentages. Empty means "use the plan defaults" (nil).
+func parseRings(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	rings := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("ring %q is not a percentage", strings.TrimSpace(p))
+		}
+		rings = append(rings, v)
+	}
+	return rings, nil
 }
 
 // ParseArgs parses a cheriot-fleet style argument list (fleet-shaping

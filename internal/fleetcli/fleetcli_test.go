@@ -57,3 +57,63 @@ func TestParseArgsErrors(t *testing.T) {
 		t.Errorf("duplicate profile: %v", err)
 	}
 }
+
+// TestRolloutFlags covers the -rollout flag family: a full plan builds,
+// and every contradictory combination is reported in ONE aggregated
+// error naming each bad flag.
+func TestRolloutFlags(t *testing.T) {
+	cfg, err := ParseArgs([]string{
+		"-rollout", "14s", "-rollout-rings", "1, 10,50,100",
+		"-rollout-check", "2s", "-rollout-bringup", "11s", "-rollout-bake", "4s",
+		"-rollout-slo", "availability>=0.8", "-rollout-crash-max", "5", "-rollout-poison",
+	})
+	if err != nil {
+		t.Fatalf("full rollout invocation rejected: %v", err)
+	}
+	p := cfg.Rollout
+	if p == nil {
+		t.Fatal("no rollout plan built")
+	}
+	if p.StartAt != 14*time.Second || p.CheckEvery != 2*time.Second ||
+		p.BringUp != 11*time.Second || p.Bake != 4*time.Second ||
+		p.HealthSLO != "availability>=0.8" || p.CrashThreshold != 5 || !p.Poisoned {
+		t.Errorf("plan = %+v", p)
+	}
+	if len(p.Rings) != 4 || p.Rings[0] != 1 || p.Rings[3] != 100 {
+		t.Errorf("rings = %v", p.Rings)
+	}
+
+	// Every contradiction in one pass: -no-snapshot against the rollout,
+	// a jsvm profile, -failover on a single shard, and a bad ring.
+	_, err = ParseArgs([]string{
+		"-rollout", "14s", "-rollout-rings", "ten,100",
+		"-no-snapshot", "-failover", "15s",
+		"-profiles", "a:1;b:1:fw=jsvm",
+	})
+	if err == nil {
+		t.Fatal("contradictory rollout invocation accepted")
+	}
+	for _, want := range []string{"contradictory flags", "-no-snapshot", "-failover", "jsvm", "-rollout-rings"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error %q missing %q", err, want)
+		}
+	}
+
+	// Companion flags without -rollout: each named in one error.
+	_, err = ParseArgs([]string{
+		"-rollout-rings", "1,100", "-rollout-bake", "4s", "-rollout-poison",
+	})
+	if err == nil {
+		t.Fatal("rollout companions without -rollout accepted")
+	}
+	for _, want := range []string{"-rollout-rings without -rollout", "-rollout-bake without -rollout", "-rollout-poison without -rollout"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error %q missing %q", err, want)
+		}
+	}
+
+	// A healthy -failover needs multiple shards; with them it is fine.
+	if _, err := ParseArgs([]string{"-shards", "4", "-failover", "15s"}); err != nil {
+		t.Errorf("valid failover rejected: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package fleetobs
+
+import "testing"
+
+// health builds a per-second series with the given availabilities,
+// seconds numbered from 0.
+func health(avail ...float64) []HealthPoint {
+	out := make([]HealthPoint, len(avail))
+	for i, a := range avail {
+		out[i] = HealthPoint{Second: i, Availability: a}
+	}
+	return out
+}
+
+// TestEvaluateWindowShorterSeries pins the @Ns contract when the health
+// series is shorter than (or exactly reaches) the window start: the
+// scoped availability evaluates to 0, so a floor rule fails loudly
+// instead of passing vacuously over an empty window.
+func TestEvaluateWindowShorterSeries(t *testing.T) {
+	rules, err := ParseRules("availability>=0.9@10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Series of 5 seconds, all perfectly available — but the window
+	// starts at second 10, which the run never reached.
+	v := Evaluate(rules, &Report{Health: health(1, 1, 1, 1, 1)})
+	if v.Pass {
+		t.Fatal("empty @10s window passed a >= floor")
+	}
+	if len(v.Rules) != 1 || v.Rules[0].Actual != 0 {
+		t.Fatalf("empty window actual = %+v, want 0", v.Rules)
+	}
+
+	// Boundary: the series ends at second 4, the window starts at 5 —
+	// still empty, still 0.
+	v = Evaluate(rules2(t, "availability>=0.5@5s"), &Report{Health: health(1, 1, 1, 1, 1)})
+	if v.Pass || v.Rules[0].Actual != 0 {
+		t.Fatalf("boundary window verdict = %+v, want actual 0 fail", v.Rules)
+	}
+
+	// The flip side: a <= rule over an empty window *passes* with the
+	// same actual 0. The convention is "empty scope evaluates to 0",
+	// not "empty scope fails" — ceilings accept it.
+	v = Evaluate(rules2(t, "availability<=0.9@10s"), &Report{Health: health(1, 1)})
+	if !v.Pass || v.Rules[0].Actual != 0 {
+		t.Fatalf("empty window under <= = %+v, want pass at 0", v.Rules)
+	}
+
+	// An empty series behaves like an empty window regardless of scope.
+	v = Evaluate(rules2(t, "availability>=0.1"), &Report{})
+	if v.Pass || v.Rules[0].Actual != 0 {
+		t.Fatalf("empty series verdict = %+v, want actual 0 fail", v.Rules)
+	}
+}
+
+// TestEvaluateWindowPartialOverlap checks the window that does overlap
+// the series: the minimum is taken over the in-window seconds only.
+func TestEvaluateWindowPartialOverlap(t *testing.T) {
+	// Bring-up dip in seconds 0–2, steady 1.0 after.
+	series := health(0, 0.2, 0.4, 1, 1)
+
+	// Whole-run rule sees the dip and fails.
+	v := Evaluate(rules2(t, "availability>=0.9"), &Report{Health: series})
+	if v.Pass || v.Rules[0].Actual != 0 {
+		t.Fatalf("whole-run verdict = %+v, want min 0 fail", v.Rules)
+	}
+
+	// Scoped past the dip it passes, and the actual is the in-window
+	// minimum, not the global one.
+	v = Evaluate(rules2(t, "availability>=0.9@3s"), &Report{Health: series})
+	if !v.Pass || v.Rules[0].Actual != 1 {
+		t.Fatalf("steady-state verdict = %+v, want min 1 pass", v.Rules)
+	}
+
+	// Window starting mid-dip: min over seconds 2..4 is 0.4.
+	v = Evaluate(rules2(t, "availability>=0.5@2s"), &Report{Health: series})
+	if v.Pass || v.Rules[0].Actual != 0.4 {
+		t.Fatalf("mid-dip verdict = %+v, want min 0.4 fail", v.Rules)
+	}
+}
+
+// TestEvaluateCrashesIgnoreWindow pins a deliberate asymmetry: crashes
+// is a whole-run sum, NOT scoped by @Ns. (This is why ota.NewController
+// rejects crash rules with a scope — the scope would silently not do
+// what it says.)
+func TestEvaluateCrashesIgnoreWindow(t *testing.T) {
+	series := []HealthPoint{
+		{Second: 0, Crashes: 3},
+		{Second: 1, Crashes: 1},
+		{Second: 2},
+	}
+	v := Evaluate(rules2(t, "crashes<=0@2s"), &Report{Health: series})
+	if v.Pass || v.Rules[0].Actual != 4 {
+		t.Fatalf("scoped crashes verdict = %+v, want whole-run sum 4 fail", v.Rules)
+	}
+}
+
+// rules2 parses one rule spec or fails the test.
+func rules2(t *testing.T, spec string) []Rule {
+	t.Helper()
+	rules, err := ParseRules(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}

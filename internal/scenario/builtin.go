@@ -229,6 +229,92 @@ func init() {
 		},
 	})
 
+	// --- OTA rollout campaigns (the harness's first multi-phase ones:
+	// the fault is a firmware change, staged through canary rings by the
+	// internal/ota controller) ---
+
+	// Healthy rollout: a 25% canary ring at 13s, widened to the whole
+	// fleet once the updated cohort's trailing bake window is healthy.
+	// Must run to terminal "complete" with every ring's advance carried
+	// by a passing availability verdict.
+	Register(Scenario{
+		Name:    "rollout-healthy",
+		Summary: "staged OTA rollout: 25% canary at 13s, health-gated widening to 100%",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.Duration = 46 * time.Second
+			o.Rollout = 13 * time.Second
+			o.RolloutRings = "25,100"
+			o.RolloutBringUp = 12 * time.Second
+			o.RolloutBake = 2 * time.Second
+			return o
+		}(),
+		SLO: "crashes<=0",
+		Fixtures: []Fixture{
+			RolloutComplete{},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+		Equivalent: "-devices 8 -lockstep -duration 46s -spread 500ms -publish-rate 2 " +
+			"-rollout 13s -rollout-rings 25,100 -rollout-bringup 12s -rollout-bake 2s " +
+			"-slo crashes<=0",
+	})
+
+	// Poisoned rollout: the same staging, but the update image ships a
+	// deliberately crashy update agent. The verdict must PASS *because*
+	// the rollback fired: crash reports above threshold, every device
+	// back on the old firmware, zero manual intervention.
+	Register(Scenario{
+		Name:    "rollout-poisoned",
+		Summary: "poisoned OTA image: canary crashes trip the threshold, auto-rollback recovers the fleet",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.Duration = 40 * time.Second
+			o.Rollout = 13 * time.Second
+			o.RolloutRings = "25,100"
+			o.RolloutBringUp = 12 * time.Second
+			o.RolloutBake = 2 * time.Second
+			o.RolloutPoison = true
+			return o
+		}(),
+		SLO: "crashes>=3",
+		Fixtures: []Fixture{
+			RolledBack{},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+		Equivalent: "-devices 8 -lockstep -duration 40s -spread 500ms -publish-rate 2 " +
+			"-rollout 13s -rollout-rings 25,100 -rollout-bringup 12s -rollout-bake 2s " +
+			"-rollout-poison -slo crashes>=3",
+	})
+
+	// Rollout under partition: compose the staged rollout with the
+	// broker-partition fault. The blackhole stalls whichever canaries it
+	// hits mid-bring-up; the health gate holds (failed bake windows
+	// retry every checkpoint) and the rollout still completes.
+	Register(Scenario{
+		Name:    "rollout-under-partition",
+		Summary: "staged rollout through a 16s..19s broker partition; the health gate rides it out",
+		Flags: func() fleetcli.Options {
+			o := base()
+			o.CloudShards = 2
+			o.Duration = 50 * time.Second
+			o.Partition = 16 * time.Second
+			o.Rollout = 13 * time.Second
+			o.RolloutRings = "25,100"
+			o.RolloutBringUp = 12 * time.Second
+			o.RolloutBake = 2 * time.Second
+			return o
+		}(),
+		SLO: "crashes<=0",
+		Fixtures: []Fixture{
+			FaultObserved{Fault: "partition"},
+			RolloutComplete{},
+			NoDeviceErrors{},
+			CycleSumExact{},
+		},
+	})
+
 	// --- Suites ---
 
 	// smoke: the check.sh gate — small fleets, no flight-recorder
@@ -238,7 +324,10 @@ func init() {
 	RegisterSuite("ported", "pod-storm", "shard-failover", "reconnect-churn", "mixed-profiles")
 	// faults: every fault-schedule campaign.
 	RegisterSuite("faults", "pod-storm", "shard-failover", "broker-partition", "clock-skew", "quota-storm")
+	// rollout: the staged-OTA campaigns, healthy and hostile.
+	RegisterSuite("rollout", "rollout-healthy", "rollout-poisoned", "rollout-under-partition")
 	// all: everything registered.
 	RegisterSuite("all", "pod-storm", "shard-failover", "reconnect-churn", "mixed-profiles",
-		"broker-partition", "clock-skew", "quota-storm", "snapshot-fork", "profiled-baseline")
+		"broker-partition", "clock-skew", "quota-storm", "snapshot-fork", "profiled-baseline",
+		"rollout-healthy", "rollout-poisoned", "rollout-under-partition")
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/cheriot-go/cheriot/internal/fleet"
 	"github.com/cheriot-go/cheriot/internal/fleetcli"
+	"github.com/cheriot-go/cheriot/internal/ota"
 )
 
 // Fixture is a pre/post state check attached to a scenario. Check runs
@@ -205,6 +206,80 @@ func (ForkedEqualsCold) Check(res *fleet.Result) error {
 	}
 	if !bytes.Equal(j1, j2) {
 		return fmt.Errorf("forked summary diverges from cold boot:\nforked: %s\ncold:   %s", j1, j2)
+	}
+	return nil
+}
+
+// RolloutComplete asserts the staged OTA rollout ran to full fleet
+// coverage: terminal state complete, every device on the new firmware,
+// every ring advanced by a passing health verdict — and the whole
+// updated cohort forked from exactly one cold boot of the new shape.
+type RolloutComplete struct{}
+
+func (RolloutComplete) Name() string { return "rollout-complete" }
+
+func (RolloutComplete) Check(res *fleet.Result) error {
+	ro := res.Summary.Rollout
+	if ro == nil {
+		return fmt.Errorf("no rollout in the summary — the plan never armed")
+	}
+	if ro.Terminal != ota.StateComplete {
+		return fmt.Errorf("rollout terminal state %q, want %q", ro.Terminal, ota.StateComplete)
+	}
+	if ro.OnNew != res.Summary.Devices || ro.OnOld != 0 {
+		return fmt.Errorf("final firmware split %d new / %d old, want the whole fleet of %d updated",
+			ro.OnNew, ro.OnOld, res.Summary.Devices)
+	}
+	for i, ring := range ro.Rings {
+		if ring.OfferedAtCycle == 0 || ring.AdvancedAtCycle == 0 {
+			return fmt.Errorf("ring %d (%g%%) missing offer/advance timestamps", i, ring.Percent)
+		}
+		if ring.Verdict == nil || !ring.Verdict.Pass {
+			return fmt.Errorf("ring %d (%g%%) advanced without a passing health verdict", i, ring.Percent)
+		}
+	}
+	st := res.Snapshot
+	if st == nil {
+		return fmt.Errorf("no snapshot cache stats — swaps did not fork from templates")
+	}
+	for _, a := range st.Aliases {
+		if a.Alias == ro.NewFirmware && a.Misses != 1 {
+			return fmt.Errorf("new firmware shape %q cold-booted %d times, want exactly 1", a.Alias, a.Misses)
+		}
+	}
+	return nil
+}
+
+// RolledBack asserts the crash-triggered auto-rollback fired and fully
+// recovered the fleet: terminal state rolled_back, zero devices left on
+// the new firmware, cohort crashes above the threshold, and the
+// micro-reboots that carried the swaps recorded.
+type RolledBack struct{}
+
+func (RolledBack) Name() string { return "rolled-back" }
+
+func (RolledBack) Check(res *fleet.Result) error {
+	ro := res.Summary.Rollout
+	if ro == nil {
+		return fmt.Errorf("no rollout in the summary — the plan never armed")
+	}
+	if ro.Terminal != ota.StateRolledBack {
+		return fmt.Errorf("rollout terminal state %q, want %q", ro.Terminal, ota.StateRolledBack)
+	}
+	if ro.OnNew != 0 || ro.OnOld != res.Summary.Devices {
+		return fmt.Errorf("final firmware split %d new / %d old, want 0/%d — rollback left devices updated",
+			ro.OnNew, ro.OnOld, res.Summary.Devices)
+	}
+	if ro.RolledBack == 0 || ro.RollbackAtCycle == 0 {
+		return fmt.Errorf("rollback accounting empty: %d devices rolled back at cycle %d",
+			ro.RolledBack, ro.RollbackAtCycle)
+	}
+	if res.Config.Rollout == nil || ro.CohortCrashes <= res.Config.Rollout.CrashThreshold {
+		return fmt.Errorf("cohort crash count %d did not exceed the threshold %d — what triggered the rollback?",
+			ro.CohortCrashes, ro.CrashThreshold)
+	}
+	if res.Summary.Reboots == 0 {
+		return fmt.Errorf("no micro-reboots recorded — the poisoned agent never crashed or swaps were free")
 	}
 	return nil
 }

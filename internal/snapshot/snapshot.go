@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash"
 	"io"
+	"sort"
 	"sync"
 
 	"github.com/cheriot-go/cheriot/internal/core"
@@ -181,6 +182,24 @@ type CacheStats struct {
 	ColdBoots int
 	// Forks is the number of Systems stamped out from templates.
 	Forks int
+	// Aliases breaks the counters down per alias, sorted by alias.
+	Aliases []AliasStats
+}
+
+// AliasStats is one alias's slice of the cache's work.
+type AliasStats struct {
+	Alias string
+	// Misses is the number of cold-boot captures under this alias —
+	// always 1 for a healthy alias, however many devices boot through it.
+	Misses int
+	// Hits is the number of forks served from the alias's template.
+	Hits int
+	// Verifies counts full shape-key verifications (the once-per-alias
+	// check on the first fork, so 1 when any fork happened).
+	Verifies int
+	// Poisoned reports that verification failed: the alias mapped images
+	// of different shapes and the cache refuses to serve it.
+	Poisoned bool
 }
 
 // Cache memoizes one Template per firmware shape and boots Systems from
@@ -194,11 +213,18 @@ type Cache struct {
 }
 
 type cacheEntry struct {
-	ready    chan struct{} // closed once tmpl/err are set
-	tmpl     *Template
-	err      error
-	verified bool  // full Key(img) checked against tmpl.key once
-	badAlias error // set when that check failed: the alias is poisoned
+	ready chan struct{} // closed once tmpl/err are set
+	tmpl  *Template
+	err   error
+	// verifyOnce runs the full Key(img)-vs-template check exactly once
+	// per alias, on the first fork; concurrent forkers block in Do until
+	// it settles, then all observe badAlias.
+	verifyOnce sync.Once
+	badAlias   error // set when that check failed: the alias is poisoned
+
+	// per-alias counters, guarded by the cache mutex
+	hits     int
+	verifies int
 }
 
 // NewCache returns an empty cache.
@@ -239,25 +265,22 @@ func (c *Cache) Boot(alias string, img *firmware.Image, opts core.BootOptions) (
 	if e.err != nil {
 		return nil, false, fmt.Errorf("snapshot: template capture for alias %q failed: %w", alias, e.err)
 	}
-	c.mu.Lock()
-	if e.badAlias != nil {
-		c.mu.Unlock()
-		return nil, false, e.badAlias
-	}
-	verify := !e.verified
-	c.mu.Unlock()
-	if verify {
+	e.verifyOnce.Do(func() {
+		var bad error
 		if k := Key(img); k != e.tmpl.key {
-			err := fmt.Errorf("snapshot: alias %q is not shape-stable: image %q has key %s.., template has %s..",
+			bad = fmt.Errorf("snapshot: alias %q is not shape-stable: image %q has key %s.., template has %s..",
 				alias, img.Name, k[:12], e.tmpl.key[:12])
-			c.mu.Lock()
-			e.badAlias = err
-			c.mu.Unlock()
-			return nil, false, err
 		}
 		c.mu.Lock()
-		e.verified = true
+		e.verifies++
+		e.badAlias = bad
 		c.mu.Unlock()
+	})
+	c.mu.Lock()
+	bad := e.badAlias
+	c.mu.Unlock()
+	if bad != nil {
+		return nil, false, bad
 	}
 	sys, err = e.tmpl.forkUnchecked(img, opts)
 	if err != nil {
@@ -265,13 +288,27 @@ func (c *Cache) Boot(alias string, img *firmware.Image, opts core.BootOptions) (
 	}
 	c.mu.Lock()
 	c.stats.Forks++
+	e.hits++
 	c.mu.Unlock()
 	return sys, true, nil
 }
 
-// Stats returns a copy of the cache's counters.
+// Stats returns a copy of the cache's counters, with the per-alias
+// breakdown sorted by alias.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	st.Aliases = make([]AliasStats, 0, len(c.entries))
+	for alias, e := range c.entries {
+		st.Aliases = append(st.Aliases, AliasStats{
+			Alias:    alias,
+			Misses:   1,
+			Hits:     e.hits,
+			Verifies: e.verifies,
+			Poisoned: e.badAlias != nil,
+		})
+	}
+	sort.Slice(st.Aliases, func(i, j int) bool { return st.Aliases[i].Alias < st.Aliases[j].Alias })
+	return st
 }

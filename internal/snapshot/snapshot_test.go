@@ -286,3 +286,79 @@ func TestCacheRejectsUnstableAlias(t *testing.T) {
 	}
 	sys2.Shutdown()
 }
+
+// TestCacheConcurrentMixedShapes boots two firmware shapes through one
+// cache from 8 goroutines at once: exactly two cold boots, no alias
+// poisoning, and a correct per-alias breakdown.
+func TestCacheConcurrentMixedShapes(t *testing.T) {
+	// Shape B differs from shape A in a boot-relevant field.
+	shapeB := func(name string) *firmware.Image {
+		img := appImage(name)
+		img.Compartments[0].AllocCaps[0].Quota *= 2
+		return img
+	}
+	c := NewCache()
+	const workers = 8
+	const perWorker = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perWorker; k++ {
+				name := fmt.Sprintf("dev-%d-%d", w, k)
+				var sys *core.System
+				var err error
+				// Workers alternate shapes, so both aliases see
+				// concurrent first callers and concurrent forkers.
+				if (w+k)%2 == 0 {
+					sys, _, err = c.Boot("shape-a", appImage(name), core.BootOptions{SkipReport: true})
+				} else {
+					sys, _, err = c.Boot("shape-b", shapeB(name), core.BootOptions{SkipReport: true})
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				sys.Shutdown()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Templates != 2 || st.ColdBoots != 2 {
+		t.Fatalf("stats = %+v, want exactly 2 templates and 2 cold boots", st)
+	}
+	if st.Forks != workers*perWorker-2 {
+		t.Fatalf("forks = %d, want %d", st.Forks, workers*perWorker-2)
+	}
+	if len(st.Aliases) != 2 {
+		t.Fatalf("aliases = %+v, want 2 entries", st.Aliases)
+	}
+	for _, a := range st.Aliases {
+		if a.Alias != "shape-a" && a.Alias != "shape-b" {
+			t.Fatalf("unexpected alias %q", a.Alias)
+		}
+		if a.Poisoned {
+			t.Fatalf("alias %q poisoned under concurrent same-shape boots", a.Alias)
+		}
+		if a.Misses != 1 {
+			t.Fatalf("alias %q cold-booted %d times, want 1", a.Alias, a.Misses)
+		}
+		if a.Hits != workers*perWorker/2-1 {
+			t.Fatalf("alias %q hits = %d, want %d", a.Alias, a.Hits, workers*perWorker/2-1)
+		}
+		if a.Verifies != 1 {
+			t.Fatalf("alias %q verified %d times, want exactly once", a.Alias, a.Verifies)
+		}
+	}
+	// The sorted order is part of the contract (deterministic output).
+	if st.Aliases[0].Alias != "shape-a" || st.Aliases[1].Alias != "shape-b" {
+		t.Fatalf("aliases not sorted: %+v", st.Aliases)
+	}
+}

@@ -34,6 +34,11 @@ func align8(n uint32) uint32 { return (n + 7) &^ 7 }
 // clears the thread's hazard slots, and dispatches traps to the callee's
 // error handler. caller == nil marks a thread's top-level invocation.
 func (k *Kernel) compartmentCall(t *Thread, caller *Comp, target, entry string, args []api.Value) ([]api.Value, error) {
+	if k.killed {
+		// Deferred cleanup calling back in during a Shutdown kill: keep
+		// unwinding instead of charging cycles against a dead machine.
+		panic(killSentinel{})
+	}
 	if caller != nil && !caller.importsCall(target, entry) {
 		panic(&hw.Trap{Code: hw.TrapPermitViolation,
 			Detail: fmt.Sprintf("%s does not import %s.%s", caller.Name(), target, entry)})

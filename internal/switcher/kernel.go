@@ -3,6 +3,7 @@ package switcher
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/cheriot-go/cheriot/internal/cap"
 	"github.com/cheriot-go/cheriot/internal/firmware"
@@ -58,6 +59,16 @@ type Kernel struct {
 	lastRun     *Thread
 	needResched bool
 	fatal       error
+
+	// killed is set by Shutdown before the kill is delivered over each
+	// thread's resume channel (which orders the write before the thread's
+	// unwind). A killed kernel makes yield and compartmentCall re-raise
+	// the kill instead of advancing the clock or parking on the dead
+	// kernel loop, so deferred cleanup in compartment code unwinds
+	// promptly and silently. threadWG counts live thread goroutines so
+	// Shutdown can join them.
+	killed   bool
+	threadWG sync.WaitGroup
 
 	// stackZeroing can be disabled for ablation studies only: without it,
 	// compartment calls leak stack contents across trust boundaries (the
@@ -519,9 +530,14 @@ func (k *Kernel) blockedList() string {
 	return s
 }
 
-// Shutdown kills every parked thread goroutine. Call it after Run returns
-// if threads may still be blocked; tests use it to avoid goroutine leaks.
+// Shutdown kills every parked thread goroutine and waits for the kill
+// unwinds to finish. Call it after Run returns if threads may still be
+// blocked. The join matters beyond leak hygiene: a killed thread unwinds
+// through deferred compartment cleanup, and without the wait that unwind
+// would still be touching the clock and telemetry while the caller reads
+// them.
 func (k *Kernel) Shutdown() {
+	k.killed = true
 	for _, t := range k.threads {
 		if t.state == StateExited || t.state == StateRunning {
 			continue
@@ -529,6 +545,7 @@ func (k *Kernel) Shutdown() {
 		t.state = StateExited
 		t.resume <- resumeKill
 	}
+	k.threadWG.Wait()
 }
 
 // Running returns the thread currently (or most recently) dispatched.

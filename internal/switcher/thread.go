@@ -195,6 +195,11 @@ func (t *Thread) irqEnabled() bool { return t.irqDisable == 0 }
 // yield parks the thread and transfers control to the kernel goroutine.
 // It returns when the kernel dispatches the thread again.
 func (t *Thread) yield(kind yieldKind) {
+	if t.kernel.killed {
+		// Deferred cleanup running during a Shutdown kill: nobody is
+		// reading yieldCh anymore, so parking would leak the goroutine.
+		panic(killSentinel{})
+	}
 	t.kernel.yieldCh <- yieldMsg{t: t, kind: kind}
 	if act := <-t.resume; act == resumeKill {
 		panic(killSentinel{})
@@ -217,10 +222,17 @@ func (t *Thread) maybePreempt() {
 
 // start spawns the thread goroutine, parked until first dispatch.
 func (t *Thread) start(comp string, entry string) {
+	t.kernel.threadWG.Add(1)
 	go func() {
+		defer t.kernel.threadWG.Done()
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killSentinel); ok {
+					return
+				}
+				if t.kernel.killed {
+					// The kernel loop is gone; reporting to it would
+					// deadlock Shutdown's join.
 					return
 				}
 				// A non-trap panic is a simulator bug: surface it in the

@@ -78,6 +78,15 @@ echo "== scenario campaign smoke suite (race) =="
 go run -race ./cmd/cheriot-campaign run smoke -seeds 2 -par 4 >/dev/null
 echo "ok"
 
+echo "== poisoned OTA rollout auto-rollback (race) =="
+# The rollout-poisoned campaign must PASS *because* the rollback fired:
+# its RolledBack fixture demands terminal state rolled_back, every
+# device back on the old firmware, cohort crashes above the threshold,
+# and the micro-reboots recorded. A rollback that silently never
+# triggers — or leaves devices on the poisoned image — fails the check.
+go run -race ./cmd/cheriot-campaign run rollout-poisoned >/dev/null
+echo "ok"
+
 echo "== forensics smoke run =="
 dumpdir=$(mktemp -d)
 go run ./cmd/cheriot-fleet -devices 4 -duration 16s -lockstep \
